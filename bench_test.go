@@ -1,0 +1,218 @@
+package kalmanstream_test
+
+// Benchmarks: one per experiment row in DESIGN.md's experiment index
+// (regenerating each paper table/figure at reduced scale), plus
+// micro-benchmarks for the hot paths. Full-scale experiment output is
+// produced by `go run ./cmd/streamkf run all` and recorded in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"kalmanstream/internal/core"
+	"kalmanstream/internal/harness"
+	"kalmanstream/internal/kalman"
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/server"
+	"kalmanstream/internal/source"
+	"kalmanstream/internal/stream"
+)
+
+// benchTicks keeps experiment benchmarks at a scale where one iteration
+// is milliseconds-to-seconds; the shapes match the full 50k-tick runs.
+const benchTicks = 4000
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := harness.Config{Ticks: benchTicks, Seed: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1Tracking regenerates E1 (per-method tracking at fixed δ).
+func BenchmarkE1Tracking(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2MessagesVsDelta regenerates E2 (messages vs δ, synthetic).
+func BenchmarkE2MessagesVsDelta(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3RealWorld regenerates E3 (messages vs δ, realistic traces).
+func BenchmarkE3RealWorld(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4NoiseAdaptation regenerates E4 (noise robustness).
+func BenchmarkE4NoiseAdaptation(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5MethodTable regenerates E5 (method × stream-class matrix).
+func BenchmarkE5MethodTable(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6MovingObjects regenerates E6 (2-D trajectories, L2 gate).
+func BenchmarkE6MovingObjects(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7AdaptiveQR regenerates E7 (adaptive noise estimation).
+func BenchmarkE7AdaptiveQR(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8BudgetAllocation regenerates E8 (allocators under budget).
+func BenchmarkE8BudgetAllocation(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9AggregateQueries regenerates E9 (composed query bounds).
+func BenchmarkE9AggregateQueries(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10RegimeSwitch regenerates E10 (regime-change adaptation).
+func BenchmarkE10RegimeSwitch(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11ModelBank regenerates E11 (multi-model bank ablation).
+func BenchmarkE11ModelBank(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12ProbabilisticAnswers regenerates E12 (interval coverage).
+func BenchmarkE12ProbabilisticAnswers(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13FaultTolerance regenerates E13 (loss and resync healing).
+func BenchmarkE13FaultTolerance(b *testing.B) { benchExperiment(b, "E13") }
+
+// --- micro-benchmarks: the per-tick costs everything above is built on ---
+
+// BenchmarkKalmanPredictUpdate1D measures one predict+update cycle of the
+// scalar random-walk filter — the minimum per-tick cost of a managed
+// stream.
+func BenchmarkKalmanPredictUpdate1D(b *testing.B) {
+	f := kalman.MustFilter(kalman.RandomWalk(0.1, 1), []float64{0}, kalman.InitialCovariance(1, 1))
+	z := []float64{1.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict()
+		if err := f.Update(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKalmanPredictUpdate2D measures the 4-state planar
+// constant-velocity filter cycle.
+func BenchmarkKalmanPredictUpdate2D(b *testing.B) {
+	f := kalman.MustFilter(kalman.ConstantVelocity2D(1, 0.1, 1),
+		make([]float64, 4), kalman.InitialCovariance(4, 1))
+	z := []float64{1.5, -2.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict()
+		if err := f.Update(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageEncodeDecode measures the wire codec round trip for a
+// typical scalar correction.
+func BenchmarkMessageEncodeDecode(b *testing.B) {
+	m := &netsim.Message{Kind: netsim.KindCorrection, StreamID: "sensor-01", Tick: 123456, Value: []float64{42.5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netsim.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolTickKalman measures the full per-tick pipeline cost —
+// source gate + (occasional) correction + server answer — for the Kalman
+// predictor, i.e. the system's sustainable per-stream tick rate.
+func BenchmarkProtocolTickKalman(b *testing.B) {
+	benchProtocolTick(b, predictor.Spec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: 0.05, R: 0.1}})
+}
+
+// BenchmarkProtocolTickStatic is the same pipeline with the static-cache
+// baseline, isolating the predictor's share of the cost.
+func BenchmarkProtocolTickStatic(b *testing.B) {
+	benchProtocolTick(b, predictor.Spec{Kind: predictor.KindStatic, Dim: 1})
+}
+
+// BenchmarkSystemScale1000Streams measures one full system tick —
+// Advance plus an Observe on each of 1000 Kalman-managed streams — the
+// number that sizes a deployment.
+func BenchmarkSystemScale1000Streams(b *testing.B) {
+	const nStreams = 1000
+	sys, err := core.NewSystem(core.SystemConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handles := make([]*core.StreamHandle, nStreams)
+	gens := make([]stream.Stream, nStreams)
+	for i := 0; i < nStreams; i++ {
+		h, err := sys.Attach(core.StreamConfig{
+			ID:        fmt.Sprintf("s%04d", i),
+			Predictor: core.KalmanConstantVelocity(0.05, 0.1),
+			Delta:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = h
+		gens[i] = stream.NewRandomWalk(int64(i), 0, 0.5, 0.05, int64(b.N)+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Advance(); err != nil {
+			b.Fatal(err)
+		}
+		for j, h := range handles {
+			p, ok := gens[j].Next()
+			if !ok {
+				b.Fatal("stream exhausted")
+			}
+			if _, err := h.Observe(p.Value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sys.TotalMessages())/float64(b.N)/nStreams, "msgs/stream-tick")
+}
+
+func benchProtocolTick(b *testing.B, spec predictor.Spec) {
+	srv := server.New()
+	if err := srv.Register("s", spec, 1); err != nil {
+		b.Fatal(err)
+	}
+	link := netsim.NewLink(func(m *netsim.Message) {
+		if err := srv.Apply(m); err != nil {
+			b.Fatal(err)
+		}
+	}, netsim.LinkConfig{})
+	src, err := source.New(source.Config{StreamID: "s", Spec: spec, Delta: 1}, link.Send)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := stream.NewRandomWalk(1, 0, 0.5, 0.05, int64(b.N)+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, ok := gen.Next()
+		if !ok {
+			b.Fatal("stream exhausted")
+		}
+		srv.Tick()
+		if _, err := src.Observe(p.Tick, p.Value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(src.Stats().Sent)/float64(b.N), "msgs/tick")
+}

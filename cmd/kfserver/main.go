@@ -1,0 +1,33 @@
+// Command kfserver hosts the dual-predictor replica cache over TCP.
+// Sources connect with cmd/kfsource (or any client of internal/wire),
+// register streams, and ship only the corrections their precision gates
+// let through; queries can be answered from any connection with hard
+// error bounds.
+//
+// Usage:
+//
+//	kfserver [-addr :9653]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"kalmanstream/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":9653", "listen address")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("kfserver: %v", err)
+	}
+	log.Printf("kfserver: listening on %s", l.Addr())
+	srv := wire.NewServer()
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("kfserver: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command kfsource simulates a data source feeding a kfserver over TCP:
+// it generates a synthetic stream, runs the precision gate locally, ships
+// only the necessary corrections, and periodically queries its own stream
+// back to demonstrate the bounded answers.
+//
+// Usage:
+//
+//	kfsource [-addr localhost:9653] [-id sensor-1] [-kind sine]
+//	         [-delta 0.5] [-n 10000] [-seed 1] [-interval 0]
+//
+// -interval sets a real-time delay between ticks (e.g. 10ms); the default
+// of 0 replays as fast as possible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/source"
+	"kalmanstream/internal/stream"
+	"kalmanstream/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9653", "kfserver address")
+	id := flag.String("id", "sensor-1", "stream id")
+	kind := flag.String("kind", "sine", "stream kind: sine, random-walk, network, gbm, ou")
+	delta := flag.Float64("delta", 0.5, "precision bound δ")
+	n := flag.Int64("n", 10000, "number of ticks")
+	seed := flag.Int64("seed", 1, "generator seed")
+	interval := flag.Duration("interval", 0, "real-time delay between ticks")
+	flag.Parse()
+
+	var gen stream.Stream
+	var spec predictor.Spec
+	switch *kind {
+	case "sine":
+		gen = stream.NewSine(*seed, 50, 10, 300, 0, 0.2, *n)
+		spec = predictor.Spec{Kind: predictor.KindKalman,
+			Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: 0.01, R: 0.04}}
+	case "random-walk":
+		gen = stream.NewRandomWalk(*seed, 0, 1, 0.1, *n)
+		spec = predictor.Spec{Kind: predictor.KindKalman,
+			Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 1, R: 0.01}}
+	case "network":
+		gen = stream.NewNetworkLoad(*seed, *n)
+		spec = predictor.Spec{Kind: predictor.KindKalman,
+			Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: 0.5, R: 1}}
+	case "gbm":
+		gen = stream.NewGBM(*seed, 100, 0.00002, 0.003, 0.01, *n)
+		spec = predictor.Spec{Kind: predictor.KindKalman,
+			Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: 0.05, R: 0.01}}
+	case "ou":
+		gen = stream.NewOU(*seed, 50, 0.05, 1, 0.1, *n)
+		spec = predictor.Spec{Kind: predictor.KindKalman,
+			Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 1, R: 0.01}}
+	default:
+		log.Fatalf("kfsource: unknown stream kind %q", *kind)
+	}
+
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatalf("kfsource: %v", err)
+	}
+	defer client.Close()
+
+	ns, err := wire.NewNetworkedSource(client, source.Config{
+		StreamID: *id,
+		Spec:     spec,
+		Delta:    *delta,
+	})
+	if err != nil {
+		log.Fatalf("kfsource: %v", err)
+	}
+	log.Printf("kfsource: registered %q (kind %s, δ=%g) at %s", *id, *kind, *delta, *addr)
+
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := ns.Observe(p.Tick, p.Value); err != nil {
+			log.Fatalf("kfsource: tick %d: %v", p.Tick, err)
+		}
+		if p.Tick%1000 == 999 {
+			ans, err := client.Query(*id, p.Tick)
+			if err != nil {
+				log.Fatalf("kfsource: query: %v", err)
+			}
+			st := ns.Stats()
+			fmt.Printf("tick %6d  measured %10.4f  server answers %10.4f ± %.3g  msgs %d/%d (%.1f%% suppressed)\n",
+				p.Tick, p.Value[0], ans.Estimate[0], ans.Bound,
+				st.Sent, st.Ticks, 100*st.SuppressionRatio())
+		}
+		if *interval > 0 {
+			time.Sleep(*interval)
+		}
+	}
+	st := ns.Stats()
+	fmt.Printf("done: %d ticks, %d corrections sent, %.1f%% suppressed\n",
+		st.Ticks, st.Sent, 100*st.SuppressionRatio())
+}

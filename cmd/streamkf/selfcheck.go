@@ -1,0 +1,218 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"kalmanstream/internal/harness"
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/server"
+	"kalmanstream/internal/source"
+	"kalmanstream/internal/stream"
+)
+
+// cmdSelfcheck re-verifies the protocol's core invariants on the machine
+// it runs on — a deployment smoke test for the determinism assumptions
+// (identical floating-point behaviour of replicas) that the test suite
+// verifies in CI.
+func cmdSelfcheck(args []string) error {
+	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	checks := []struct {
+		name string
+		run  func(seed int64) error
+	}{
+		{"hard bound on suppressed ticks (all predictor kinds)", checkHardBound},
+		{"replica lock-step (source view == server view)", checkLockstep},
+		{"aggregate bound composition (SUM/AVG)", checkComposition},
+		{"resync restores exact lock-step under loss", checkResync},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.run(*seed); err != nil {
+			failed++
+			fmt.Printf("FAIL  %s: %v\n", c.name, err)
+			continue
+		}
+		fmt.Printf("ok    %s\n", c.name)
+	}
+	if failed > 0 {
+		return fmt.Errorf("selfcheck: %d of %d checks failed", failed, len(checks))
+	}
+	fmt.Println("all invariants hold on this machine")
+	return nil
+}
+
+func selfcheckSpecs() []predictor.Spec {
+	return []predictor.Spec{
+		{Kind: predictor.KindStatic, Dim: 1},
+		{Kind: predictor.KindDeadReckoning, Dim: 1},
+		{Kind: predictor.KindEWMA, Dim: 1, Alpha: 0.4},
+		{Kind: predictor.KindHolt, Dim: 1, Alpha: 0.4, Beta: 0.1},
+		{Kind: predictor.KindKalman, Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: 0.05, R: 0.1}},
+		{Kind: predictor.KindKalmanBank, Models: []predictor.ModelSpec{
+			{Kind: predictor.ModelRandomWalk, Q: 0.5, R: 0.1},
+			{Kind: predictor.ModelConstantVelocity, Q: 0.05, R: 0.1},
+		}},
+	}
+}
+
+func checkHardBound(seed int64) error {
+	for i, spec := range selfcheckSpecs() {
+		rs, err := harness.Run(spec, 1.5, source.NormInf,
+			stream.NewRegimeSwitching(seed+int64(i), 500, 0.2, 4000))
+		if err != nil {
+			return err
+		}
+		if rs.Violations.Count > 0 {
+			return fmt.Errorf("predictor %d violated δ %d times (worst excess %g)",
+				i, rs.Violations.Count, rs.Violations.Worst)
+		}
+	}
+	return nil
+}
+
+func checkLockstep(seed int64) error {
+	for i, spec := range selfcheckSpecs() {
+		srv := server.New()
+		if err := srv.Register("s", spec, 1); err != nil {
+			return err
+		}
+		link := netsim.NewLink(func(m *netsim.Message) { _ = srv.Apply(m) }, netsim.LinkConfig{})
+		src, err := source.New(source.Config{StreamID: "s", Spec: spec, Delta: 1}, link.Send)
+		if err != nil {
+			return err
+		}
+		gen := stream.NewSine(seed+int64(i), 0, 10, 150, 0, 0.2, 2000)
+		for {
+			p, ok := gen.Next()
+			if !ok {
+				break
+			}
+			srv.Tick()
+			sent, err := src.Observe(p.Tick, p.Value)
+			if err != nil {
+				return err
+			}
+			if sent {
+				continue
+			}
+			info, err := srv.Info("s")
+			if err != nil {
+				return err
+			}
+			sp := src.Prediction()
+			for k := range sp {
+				if sp[k] != info.Prediction[k] {
+					return fmt.Errorf("predictor %d tick %d: source %v vs server %v",
+						i, p.Tick, sp, info.Prediction)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkComposition(seed int64) error {
+	srv := server.New()
+	const n = 8
+	ids := make([]string, n)
+	srcs := make([]*source.Source, n)
+	gens := make([]stream.Stream, n)
+	spec := predictor.Spec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 0.5, R: 0.01}}
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("s%d", i)
+		if err := srv.Register(ids[i], spec, 1); err != nil {
+			return err
+		}
+		link := netsim.NewLink(func(m *netsim.Message) { _ = srv.Apply(m) }, netsim.LinkConfig{})
+		src, err := source.New(source.Config{StreamID: ids[i], Spec: spec, Delta: 1}, link.Send)
+		if err != nil {
+			return err
+		}
+		srcs[i] = src
+		gens[i] = stream.NewRandomWalk(seed+int64(i), 0, 0.7, 0.05, 2000)
+	}
+	for tick := 0; tick < 2000; tick++ {
+		srv.Tick()
+		var trueSum, estSum, bound float64
+		for i := range srcs {
+			p, ok := gens[i].Next()
+			if !ok {
+				return fmt.Errorf("stream ended early")
+			}
+			if _, err := srcs[i].Observe(p.Tick, p.Value); err != nil {
+				return err
+			}
+			trueSum += p.Value[0]
+		}
+		for _, id := range ids {
+			est, b, err := srv.Value(id)
+			if err != nil {
+				return err
+			}
+			estSum += est[0]
+			bound += b
+		}
+		if math.Abs(estSum-trueSum) > bound+1e-9 {
+			return fmt.Errorf("tick %d: |%g − %g| > %g", tick, estSum, trueSum, bound)
+		}
+	}
+	return nil
+}
+
+func checkResync(seed int64) error {
+	spec := predictor.Spec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: 0.05, R: 0.1}}
+	srv := server.New()
+	if err := srv.Register("s", spec, 1); err != nil {
+		return err
+	}
+	delivered := int64(0)
+	link := netsim.NewLink(func(m *netsim.Message) {
+		if err := srv.Apply(m); err == nil {
+			delivered++
+		}
+	}, netsim.LinkConfig{DropProb: 0.3, Seed: seed})
+	src, err := source.New(source.Config{StreamID: "s", Spec: spec, Delta: 1, ResyncEvery: 1}, link.Send)
+	if err != nil {
+		return err
+	}
+	gen := stream.NewSine(seed, 0, 10, 150, 0, 0.2, 3000)
+	last := int64(0)
+	checked := false
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		srv.Tick()
+		if _, err := src.Observe(p.Tick, p.Value); err != nil {
+			return err
+		}
+		if delivered > last {
+			last = delivered
+			info, err := srv.Info("s")
+			if err != nil {
+				return err
+			}
+			sp := src.Prediction()
+			for k := range sp {
+				if sp[k] != info.Prediction[k] {
+					return fmt.Errorf("tick %d: divergence right after delivered resync", p.Tick)
+				}
+			}
+			checked = true
+		}
+	}
+	if !checked {
+		return fmt.Errorf("no resyncs delivered — check inconclusive")
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Monitoring: an ops dashboard over suppressed telemetry.
+//
+// A service emits latency telemetry whose behaviour changes over time:
+// calm stretches, slow degradations, and incident spikes. The dashboard
+// never sees most samples — the multi-model Kalman bank at the agent
+// suppresses everything predictable — yet it still provides:
+//
+//   - an SLO subscription that fires *certain* alerts when the p50
+//     latency provably leaves its budget band (and a grey-zone signal
+//     when the precision bound straddles the edge);
+//   - an incident review: historical averages and extremes over the
+//     archived bounded answers;
+//   - probabilistic readouts alongside the hard ±δ guarantee.
+//
+// Run with: go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kalmanstream"
+)
+
+const ticks = 30000
+
+// latencySource simulates p50 latency in milliseconds: a baseline with
+// mean-reverting jitter, a mid-run slow degradation, and short incidents.
+type latencySource struct {
+	rng      *rand.Rand
+	value    float64
+	incident int
+}
+
+func (l *latencySource) measure(t int) float64 {
+	base := 40.0
+	if t > 12000 && t < 20000 {
+		base += float64(t-12000) * 0.004 // slow degradation: +32ms over 8k ticks
+	}
+	if t%7000 == 2500 {
+		l.incident = 120 // sharp incident, decays below
+	}
+	if l.incident > 0 {
+		l.incident -= 1
+	}
+	l.value += 0.05*(base-l.value) + l.rng.NormFloat64()*0.8
+	spike := 0.0
+	if l.incident > 100 {
+		spike = float64(l.incident-100) * 4
+	}
+	return l.value + spike + l.rng.NormFloat64()*0.3
+}
+
+func main() {
+	sys, err := kalmanstream.NewSystem(kalmanstream.SystemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent, err := sys.Attach(kalmanstream.StreamConfig{
+		ID: "p50-latency",
+		// The bank hedges across regimes: flat (level model) vs
+		// degrading (trend models) — no per-service tuning.
+		Predictor: kalmanstream.KalmanBank(
+			kalmanstream.KalmanRandomWalk(0.05, 0.7),
+			kalmanstream.KalmanConstantVelocity(0.001, 0.7),
+			kalmanstream.KalmanConstantVelocity(0.05, 0.7),
+		),
+		Delta:          2, // dashboard reads are exact to ±2 ms
+		HeartbeatEvery: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.EnableHistory("p50-latency", ticks+1); err != nil {
+		log.Fatal(err)
+	}
+
+	// SLO: p50 must stay within [0, 60] ms. True/False events are
+	// *certain* — the ±2 ms bound makes false alarms impossible. When
+	// the value hovers at the band edge the state flaps through Unknown;
+	// the alert logic only announces provable breaches and the provable
+	// recoveries that end them.
+	alerts, greyTicks := 0, 0
+	breached := false
+	if _, err := sys.Subscribe("p50-latency", 0, 60, func(e kalmanstream.Event) {
+		switch e.New {
+		case kalmanstream.False:
+			if !breached {
+				alerts++
+				breached = true
+				fmt.Printf("tick %5d: ALERT — p50 provably out of SLO band\n", e.Tick)
+			}
+		case kalmanstream.True:
+			if breached {
+				breached = false
+				fmt.Printf("tick %5d: recovered — p50 provably back in band\n", e.Tick)
+			}
+		case kalmanstream.Unknown:
+			// The ±2 ms bound straddles 60 ms: the gate can't certify
+			// either way. A real deployment could tighten δ here.
+			greyTicks++
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	src := &latencySource{rng: rand.New(rand.NewSource(7)), value: 40}
+	for t := 0; t < ticks; t++ {
+		if err := sys.Advance(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := agent.Observe([]float64{src.measure(t)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Advance(); err != nil { // settle the final tick
+		log.Fatal(err)
+	}
+
+	st := agent.Stats()
+	fmt.Printf("\ntelemetry: %d samples, %d shipped (%.1f%% suppressed), hard bound ±2 ms throughout\n",
+		st.Ticks, st.Sent, 100*st.SuppressionRatio())
+	fmt.Printf("certain SLO alerts fired: %d (zero false positives by construction); %d grey-zone transitions\n\n",
+		alerts, greyTicks)
+
+	// Incident review from history: the degradation window vs a calm one.
+	for _, window := range []struct {
+		label    string
+		from, to int64
+	}{
+		{"calm window    [5000, 7000]", 5000, 7000},
+		{"incident window[2400, 2700]", 2400, 2700},
+		{"degraded window[18000, 20000]", 18000, 20000},
+	} {
+		avg, err := sys.HistoryAverage("p50-latency", window.from, window.to)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, maxIv, err := sys.HistoryExtremes("p50-latency", window.from, window.to)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: mean %6.2f ± %.2f ms, worst tick within [%.1f, %.1f] ms\n",
+			window.label, avg.Estimate, avg.Bound, maxIv.Lo, maxIv.Hi)
+	}
+
+	// Live probabilistic readout next to the hard bound.
+	pa, err := sys.ProbValue("p50-latency", 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hard, err := sys.Value("p50-latency")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnow: %6.2f ms — hard bound ±%.1f, 95%% interval ±%.2f\n",
+		hard.Estimate, hard.Bound, pa.HalfWidth)
+}

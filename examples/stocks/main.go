@@ -1,0 +1,123 @@
+// Stocks: bounded-error portfolio monitoring over quote streams.
+//
+// Eight tickers follow geometric Brownian motion. A portfolio dashboard
+// needs the total value to ±$2 and an alert when any ticker strays out of
+// its trading band — but polling every quote of every ticker is exactly
+// the overhead the paper's protocol removes. Each ticker streams through
+// a precision gate; the SUM query composes the per-ticker bounds, and the
+// band predicate answers True/False only when the bound makes it certain.
+//
+// Run with: go run ./examples/stocks
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"kalmanstream"
+)
+
+const (
+	nTickers = 8
+	ticks    = 30000
+)
+
+type ticker struct {
+	symbol string
+	price  float64
+	mu     float64
+	sigma  float64
+	rng    *rand.Rand
+	handle *kalmanstream.StreamHandle
+}
+
+func (tk *ticker) quote() float64 {
+	tk.price *= math.Exp((tk.mu - tk.sigma*tk.sigma/2) + tk.sigma*tk.rng.NormFloat64())
+	return tk.price
+}
+
+func main() {
+	sys, err := kalmanstream.NewSystem(kalmanstream.SystemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	symbols := []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF", "GGG", "HHH"}
+	tickers := make([]*ticker, nTickers)
+	ids := make([]string, nTickers)
+	shares := make([]float64, nTickers)
+	for i := range tickers {
+		tk := &ticker{
+			symbol: symbols[i],
+			price:  50 + 20*float64(i),
+			mu:     0.00001 * float64(i-4),
+			sigma:  0.0005 * float64(1+i%4),
+			rng:    rand.New(rand.NewSource(int64(i + 10))),
+		}
+		h, err := sys.Attach(kalmanstream.StreamConfig{
+			ID: tk.symbol,
+			// Quote dynamics drift; the trend-tracking model suppresses
+			// steady runs.
+			Predictor: kalmanstream.KalmanConstantVelocity(0.0004, 0.0001),
+			Delta:     0.25, // each ticker known to ±25¢
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tk.handle = h
+		tickers[i] = tk
+		ids[i] = tk.symbol
+		shares[i] = float64(10 * (i + 1)) // 10, 20, … shares per ticker
+	}
+
+	alerts := 0
+	unknowns := 0
+	for t := 0; t < ticks; t++ {
+		if err := sys.Advance(); err != nil {
+			log.Fatal(err)
+		}
+		for _, tk := range tickers {
+			if _, err := tk.handle.Observe([]float64{tk.quote()}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Band alert on the most volatile ticker: certain answers only.
+		verdict, err := sys.Within("DDD", 80, 140)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch verdict {
+		case kalmanstream.False:
+			alerts++
+		case kalmanstream.Unknown:
+			unknowns++
+		}
+		if t%10000 == 9999 {
+			// Portfolio value with share counts: Σ sharesᵢ·priceᵢ, with
+			// the composed bound Σ sharesᵢ·δᵢ.
+			total, err := sys.WeightedSum(ids, shares)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var trueTotal float64
+			for i, tk := range tickers {
+				trueTotal += shares[i] * tk.price
+			}
+			fmt.Printf("tick %5d: portfolio $%10.2f ± $%.2f (true $%10.2f, err $%+.2f)\n",
+				t, total.Estimate, total.Bound, trueTotal, total.Estimate-trueTotal)
+		}
+	}
+
+	var sent, all int64
+	for _, tk := range tickers {
+		st := tk.handle.Stats()
+		sent += st.Sent
+		all += st.Ticks
+	}
+	fmt.Printf("\n%d quotes processed, %d corrections shipped (%.1f%% suppressed)\n",
+		all, sent, 100*float64(all-sent)/float64(all))
+	fmt.Printf("band monitor on DDD: %d certain out-of-band ticks, %d undecidable ticks\n", alerts, unknowns)
+	fmt.Println("the portfolio bound ±$90 = Σ sharesᵢ × ±$0.25 held on every single tick")
+}

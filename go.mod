@@ -1,0 +1,3 @@
+module kalmanstream
+
+go 1.22

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"testing"
+
+	"kalmanstream/internal/source"
+	"kalmanstream/internal/stream"
+)
+
+// Fault-injection tests: the hard bound is proven for loss-free,
+// zero-delay links; these tests characterize graceful degradation when
+// that assumption is broken, and the mechanisms (heartbeats) that cap the
+// damage.
+
+// runImpaired drives a random walk through an impaired system and
+// returns (violations on suppressed ticks, total suppressed ticks).
+func runImpaired(t *testing.T, cfg StreamConfig, ticks int64) (violations, suppressed int64) {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewRandomWalk(11, 0, 1, 0.1, ticks)
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		sent, err := h.Observe(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent {
+			continue
+		}
+		suppressed++
+		ans, err := sys.Value(cfg.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if source.NormInf.Deviation(p.Value, []float64{ans.Estimate}) > ans.Bound+1e-9 {
+			violations++
+		}
+	}
+	return violations, suppressed
+}
+
+func TestCleanLinkZeroViolations(t *testing.T) {
+	v, s := runImpaired(t, StreamConfig{
+		ID: "clean", Predictor: KalmanRandomWalk(1, 0.01), Delta: 2,
+	}, 5000)
+	if v != 0 {
+		t.Fatalf("clean link produced %d violations over %d suppressed ticks", v, s)
+	}
+}
+
+func TestLossyLinkViolationsAreRare(t *testing.T) {
+	// 20% loss: replicas diverge after each dropped correction until the
+	// next delivered one. Violations happen but must stay a small
+	// fraction, because each divergence is healed by the very next
+	// delivered correction.
+	v, s := runImpaired(t, StreamConfig{
+		ID: "lossy", Predictor: KalmanRandomWalk(1, 0.01), Delta: 2,
+		LinkDropProb: 0.2, LinkSeed: 3,
+	}, 20000)
+	if s == 0 {
+		t.Fatal("nothing suppressed")
+	}
+	rate := float64(v) / float64(s)
+	if rate > 0.35 {
+		t.Fatalf("violation rate %.2f too high for 20%% loss", rate)
+	}
+}
+
+func TestDelayedLinkStillConverges(t *testing.T) {
+	// A 3-tick delivery delay breaks per-tick lock-step; the system must
+	// keep running with bounded degradation and no errors.
+	v, s := runImpaired(t, StreamConfig{
+		ID: "slow", Predictor: KalmanRandomWalk(1, 0.01), Delta: 3,
+		LinkDelayTicks: 3,
+	}, 10000)
+	if s == 0 {
+		t.Fatal("nothing suppressed")
+	}
+	if float64(v)/float64(s) > 0.5 {
+		t.Fatalf("delayed link violation rate %.2f — no convergence", float64(v)/float64(s))
+	}
+}
+
+func TestHeartbeatsBoundStalenessUnderQuietStreams(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{
+		ID:             "quiet",
+		Predictor:      StaticCache(1),
+		Delta:          1000, // nothing would ever ship organically
+		HeartbeatEvery: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{42}); err != nil {
+			t.Fatal(err)
+		}
+		info, err := sys.Info("quiet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Staleness > 51 {
+			t.Fatalf("tick %d: staleness %d exceeds heartbeat interval", i, info.Staleness)
+		}
+	}
+	st := h.Stats()
+	if st.Heartbeats < 15 {
+		t.Fatalf("heartbeats = %d, want ≈19", st.Heartbeats)
+	}
+}
+
+func TestResyncRestoresLockstepAfterLoss(t *testing.T) {
+	// The resync guarantee, stated exactly: whenever a resync message is
+	// delivered, the server replica lands bit-identically on the
+	// source's state, erasing any divergence accumulated from lost
+	// corrections. Plain corrections only pull the server's estimate
+	// partway, so divergence can persist across deliveries.
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{
+		ID: "rs", Predictor: KalmanConstantVelocity(0.05, 0.1), Delta: 1,
+		LinkDropProb: 0.3, LinkSeed: 17, ResyncEvery: 1, // every send is a resync
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewSine(5, 0, 10, 200, 0, 0.2, 10000)
+	lastDelivered := int64(0)
+	everDiverged := false
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe(p.Value); err != nil {
+			t.Fatal(err)
+		}
+		// Info.Prediction is the server replica's own prediction (Value
+		// answers the exact measurement on correction ticks, which is
+		// not the replica state being compared here).
+		info, err := sys.Info("rs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvEst := info.Prediction
+		srcView := h.Prediction()
+		delivered := h.LinkStats().Messages
+		if delivered > lastDelivered {
+			// A resync landed this tick: divergence must be exactly zero.
+			lastDelivered = delivered
+			for k := range srcView {
+				if srcView[k] != srvEst[k] {
+					t.Fatalf("tick %d: replicas differ right after a delivered resync: %v vs %v",
+						p.Tick, srcView, srvEst)
+				}
+			}
+			continue
+		}
+		for k := range srcView {
+			if srcView[k] != srvEst[k] {
+				everDiverged = true
+			}
+		}
+	}
+	if h.LinkStats().Dropped == 0 {
+		t.Fatal("no drops — test exercised nothing")
+	}
+	if !everDiverged {
+		t.Fatal("loss never caused divergence — test exercised nothing")
+	}
+}
+
+func TestResyncReducesViolationsOnStatefulPredictors(t *testing.T) {
+	// Statistical companion to the exactness test: on a smooth stream
+	// tracked by a predictor with hidden trend state, healing the hidden
+	// state (not just the observable) must lower the violation rate.
+	base := StreamConfig{
+		Predictor: KalmanConstantVelocity(0.05, 0.1), Delta: 1,
+		LinkDropProb: 0.3, LinkSeed: 17,
+	}
+	run := func(id string, resync int64) float64 {
+		cfg := base
+		cfg.ID = id
+		cfg.ResyncEvery = resync
+		sys, err := NewSystem(SystemConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := sys.Attach(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := stream.NewSine(5, 0, 10, 200, 0, 0.2, 30000)
+		var viol, supp int64
+		for {
+			p, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if err := sys.Advance(); err != nil {
+				t.Fatal(err)
+			}
+			sent, err := h.Observe(p.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sent {
+				continue
+			}
+			supp++
+			ans, err := sys.Value(cfg.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if source.NormInf.Deviation(p.Value, []float64{ans.Estimate}) > ans.Bound+1e-9 {
+				viol++
+			}
+		}
+		if supp == 0 {
+			t.Fatal("nothing suppressed")
+		}
+		return float64(viol) / float64(supp)
+	}
+	plain := run("plain", 0)
+	healed := run("healed", 1)
+	if plain == 0 {
+		t.Skip("loss pattern produced no violations to heal")
+	}
+	if healed >= plain {
+		t.Fatalf("resync rate %.4f not better than plain %.4f", healed, plain)
+	}
+}
+
+func TestResyncIsExactOnDelivery(t *testing.T) {
+	// On a clean link a resync-heavy stream behaves identically to a
+	// correction-only stream in suppression terms, and the source's view
+	// still matches the server on every suppressed tick.
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{
+		ID: "rs", Predictor: KalmanConstantVelocity(0.05, 0.1), Delta: 1, ResyncEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewSine(5, 0, 10, 200, 0, 0.2, 3000)
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		sent, err := h.Observe(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent {
+			continue
+		}
+		ans, err := sys.Value("rs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if source.NormInf.Deviation(p.Value, []float64{ans.Estimate}) > ans.Bound+1e-9 {
+			t.Fatalf("tick %d: bound violated with resyncs on a clean link", p.Tick)
+		}
+	}
+	st := h.Stats()
+	if st.Resyncs == 0 {
+		t.Fatal("no resyncs sent")
+	}
+	if st.Resyncs > st.Sent/2+1 {
+		t.Fatalf("resyncs %d exceed every-2nd cadence of %d sends", st.Resyncs, st.Sent)
+	}
+}
+
+func TestViolationRateDecreasesWithLowerLoss(t *testing.T) {
+	rates := make([]float64, 0, 3)
+	for _, drop := range []float64{0.4, 0.1, 0.0} {
+		v, s := runImpaired(t, StreamConfig{
+			ID: "l", Predictor: StaticCache(1), Delta: 2,
+			LinkDropProb: drop, LinkSeed: 5,
+		}, 20000)
+		if s == 0 {
+			t.Fatal("nothing suppressed")
+		}
+		rates = append(rates, float64(v)/float64(s))
+	}
+	if !(rates[0] > rates[1] && rates[1] > rates[2]) && rates[2] != 0 {
+		t.Fatalf("violation rates not ordered by loss: %v", rates)
+	}
+	if rates[2] != 0 {
+		t.Fatalf("zero loss still violated: %v", rates[2])
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+)
+
+// attachFleet attaches two 2-D L2-gated static streams and positions them.
+func attachFleet(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := map[string][2]float64{"carA": {0, 0}, "carB": {30, 40}}
+	handles := map[string]*StreamHandle{}
+	for id := range positions {
+		h, err := sys.Attach(StreamConfig{
+			ID:            id,
+			Predictor:     StaticCache(2),
+			Delta:         5,
+			DeviationNorm: NormL2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[id] = h
+	}
+	if err := sys.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	for id, pos := range positions {
+		if _, err := handles[id].Observe([]float64{pos[0], pos[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Advance(); err != nil { // settle past the exact tick
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemSpatialQueries(t *testing.T) {
+	sys := attachFleet(t)
+	d, err := sys.Distance("carB", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Estimate != 50 || d.Bound != 5 {
+		t.Fatalf("distance = %+v", d)
+	}
+	verdict, err := sys.WithinRadius("carB", 0, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != True {
+		t.Fatalf("WithinRadius(60) = %v", verdict)
+	}
+	sep, err := sys.Separation("carA", "carB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Estimate != 50 || sep.Bound != 10 {
+		t.Fatalf("separation = %+v", sep)
+	}
+	closer, err := sys.CloserThan("carA", "carB", 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer != True {
+		t.Fatalf("CloserThan(65) = %v", closer)
+	}
+	if _, err := sys.Distance("ghost", 0, 0); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+}
+
+func TestSystemWeightedSum(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"x", "y"}
+	values := []float64{10, 20}
+	var handles []*StreamHandle
+	for _, id := range ids {
+		h, err := sys.Attach(StreamConfig{ID: id, Predictor: StaticCache(1), Delta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := sys.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if _, err := h.Observe([]float64{values[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.WeightedSum(ids, []float64{2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Estimate != 30 || ans.Bound != 2.5 {
+		t.Fatalf("weighted sum = %+v", ans)
+	}
+}
+
+func TestPublicConstructorsAttachable(t *testing.T) {
+	// Exercise every public predictor constructor through Attach.
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []PredictorSpec{
+		StaticCache(1),
+		DeadReckoning(1),
+		EWMA(1, 0.4),
+		Holt(1, 0.4, 0.1),
+		KalmanRandomWalk(1, 0.1),
+		KalmanConstantVelocity(0.1, 0.1),
+		KalmanConstantAcceleration(0.1, 0.1),
+		KalmanConstantVelocity2D(0.1, 0.1),
+		Adaptive(KalmanRandomWalk(1, 0.1)),
+		KalmanBank(KalmanRandomWalk(1, 0.1), KalmanConstantVelocity(0.1, 0.1)),
+	}
+	for i, spec := range specs {
+		h, err := sys.Attach(StreamConfig{
+			ID:        string(rune('a' + i)),
+			Predictor: spec,
+			Delta:     1,
+		})
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		z := make([]float64, spec.ObsDim())
+		if _, err := h.Observe(z); err != nil {
+			t.Fatalf("spec %d observe: %v", i, err)
+		}
+	}
+}

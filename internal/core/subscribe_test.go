@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSystemSubscriptionsFireOnSettledTicks(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{ID: "s", Predictor: StaticCache(1), Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	subID, err := sys.Subscribe("s", 10, 20, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feed := func(v float64) {
+		t.Helper()
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feed(15) // True once settled
+	feed(15)
+	if len(events) != 1 || events[0].New != True {
+		t.Fatalf("events after settle: %+v", events)
+	}
+	feed(15) // no transition
+	if len(events) != 1 {
+		t.Fatalf("spurious event: %+v", events)
+	}
+	feed(50) // leaves the band → False after settling
+	feed(50)
+	if len(events) != 2 || events[1].New != False {
+		t.Fatalf("transition missing: %+v", events)
+	}
+	if err := sys.Unsubscribe(subID); err != nil {
+		t.Fatal(err)
+	}
+	feed(15)
+	feed(15)
+	if len(events) != 2 {
+		t.Fatalf("unsubscribed but fired: %+v", events)
+	}
+}
+
+func TestSystemHistoryQueries(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{ID: "s", Predictor: StaticCache(1), Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableHistory("s", 32); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{float64(i * 3)}); err != nil { // 0, 3, ..., 27
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Advance(); err != nil { // settle tick 9
+		t.Fatal(err)
+	}
+	entry, err := sys.HistoryAt("s", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Estimate[0] != 12 || entry.Bound != 0 {
+		t.Fatalf("history at 4 = %+v", entry)
+	}
+	avg, err := sys.HistoryAverage("s", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Estimate != (6+9+12+15)/4.0 {
+		t.Fatalf("history avg = %+v", avg)
+	}
+	minIv, maxIv, err := sys.HistoryExtremes("s", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minIv.Lo != 6 || maxIv.Hi != 15 {
+		t.Fatalf("extremes = %+v %+v", minIv, maxIv)
+	}
+}
+
+func TestSystemProbValue(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{ID: "k", Predictor: KalmanRandomWalk(0.25, 0.04), Delta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, err := sys.ProbValue("k", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.HalfWidth <= 0 || pa.HalfWidth > 2+1e-9 {
+		t.Fatalf("prob answer %+v not clamped to δ", pa)
+	}
+	// Static predictors have no distribution.
+	if _, err := sys.Attach(StreamConfig{ID: "flat", Predictor: StaticCache(1), Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ProbValue("flat", 0.95); err == nil {
+		t.Fatal("distribution-free predictor answered")
+	}
+}
+
+func TestSystemKalmanBankSpec(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := KalmanBank(KalmanRandomWalk(0.5, 0.1), KalmanConstantVelocity(0.05, 0.1))
+	h, err := sys.Attach(StreamConfig{ID: "bank", Predictor: spec, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Stats().Suppressed == 0 {
+		t.Fatal("bank never suppressed a ramp")
+	}
+}

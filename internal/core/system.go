@@ -1,0 +1,458 @@
+// Package core implements the public face of the library: a System that
+// hosts the server-side replica cache, attaches precision-gated sources,
+// answers bounded-error queries, and (optionally) runs a communication
+// budget across all attached streams. The root package kalmanstream
+// re-exports these types; see that package's documentation for the
+// user-level overview.
+package core
+
+import (
+	"fmt"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/query"
+	"kalmanstream/internal/resource"
+	"kalmanstream/internal/server"
+	"kalmanstream/internal/source"
+)
+
+// PredictorSpec describes the replicated prediction procedure for a
+// stream (re-exported from the predictor package).
+type PredictorSpec = predictor.Spec
+
+// Norm selects the deviation norm for the precision gate.
+type Norm = source.Norm
+
+// Gate norms.
+const (
+	NormInf = source.NormInf
+	NormL2  = source.NormL2
+)
+
+// Answer is a bounded-error query answer.
+type Answer = query.Answer
+
+// Interval is a guaranteed enclosure of a true value.
+type Interval = query.Interval
+
+// Tristate is the answer to a predicate over approximate values.
+type Tristate = query.Tristate
+
+// ProbAnswer is a probabilistic point answer (estimate ± confidence
+// interval from the predictive distribution).
+type ProbAnswer = query.ProbAnswer
+
+// Tristate values.
+const (
+	False   = query.False
+	Unknown = query.Unknown
+	True    = query.True
+)
+
+// SourceStats summarizes a stream's gate decisions.
+type SourceStats = source.Stats
+
+// LinkStats summarizes traffic on a stream's uplink.
+type LinkStats = netsim.Stats
+
+// Convenience constructors for predictor specs.
+
+// StaticCache returns the approximate-caching baseline: the server
+// predicts the last shipped value.
+func StaticCache(dim int) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindStatic, Dim: dim}
+}
+
+// DeadReckoning returns linear extrapolation from the last two shipped
+// values.
+func DeadReckoning(dim int) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindDeadReckoning, Dim: dim}
+}
+
+// EWMA returns an exponentially-weighted-moving-average predictor.
+func EWMA(dim int, alpha float64) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindEWMA, Dim: dim, Alpha: alpha}
+}
+
+// Holt returns a double-exponential-smoothing predictor (level + trend)
+// with level factor alpha and trend factor beta, both in (0, 1].
+func Holt(dim int, alpha, beta float64) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindHolt, Dim: dim, Alpha: alpha, Beta: beta}
+}
+
+// KalmanRandomWalk returns a Kalman predictor with random-walk dynamics:
+// the right model when successive values differ by unpredictable steps.
+func KalmanRandomWalk(q, r float64) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: q, R: r}}
+}
+
+// KalmanConstantVelocity returns a Kalman predictor that tracks a level
+// and its trend — the workhorse model for drifting or smoothly varying
+// streams.
+func KalmanConstantVelocity(q, r float64) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: q, R: r}}
+}
+
+// KalmanConstantAcceleration returns a third-order kinematic Kalman
+// predictor.
+func KalmanConstantAcceleration(q, r float64) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelConstantAcceleration, Q: q, R: r}}
+}
+
+// KalmanConstantVelocity2D returns the planar moving-object model
+// (state x, y, vx, vy; observations x, y).
+func KalmanConstantVelocity2D(q, r float64) PredictorSpec {
+	return PredictorSpec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelConstantVelocity2D, Q: q, R: r}}
+}
+
+// Adaptive turns on innovation-driven noise adaptation for a Kalman spec.
+func Adaptive(spec PredictorSpec) PredictorSpec {
+	spec.Adaptive = true
+	return spec
+}
+
+// KalmanBank combines several Kalman specs into a multi-model bank that
+// re-weights its hypotheses online by predictive likelihood — the default
+// choice when a stream's dynamics are unknown or change over time. Every
+// argument must be a Kalman spec (as returned by the Kalman* constructors)
+// with the same observation dimension.
+func KalmanBank(models ...PredictorSpec) PredictorSpec {
+	specs := make([]predictor.ModelSpec, len(models))
+	for i, m := range models {
+		specs[i] = m.Model
+	}
+	return PredictorSpec{Kind: predictor.KindKalmanBank, Models: specs}
+}
+
+// StreamConfig configures one attached stream.
+type StreamConfig struct {
+	// ID identifies the stream; must be unique within the system.
+	ID string
+	// Predictor is the replicated prediction procedure.
+	Predictor PredictorSpec
+	// Delta is the precision bound δ.
+	Delta float64
+	// DeviationNorm selects the gate norm (default NormInf).
+	DeviationNorm Norm
+	// HeartbeatEvery bounds staleness (0 = no heartbeats).
+	HeartbeatEvery int64
+	// ResyncEvery upgrades every Nth correction to a full-snapshot
+	// resync, healing replica divergence on lossy links (0 = never).
+	ResyncEvery int64
+	// Weight is the stream's importance under budget management
+	// (default 1).
+	Weight float64
+	// MinDelta / MaxDelta clamp budget-managed δ (0 = unclamped).
+	MinDelta, MaxDelta float64
+	// LinkDelayTicks and LinkDropProb optionally impair the uplink for
+	// fault-injection experiments. With impairments the per-tick bound
+	// becomes best-effort until the next correction lands.
+	LinkDelayTicks int
+	LinkDropProb   float64
+	LinkSeed       int64
+}
+
+// SystemConfig configures a System.
+type SystemConfig struct {
+	// Budget enables budget management when positive: the total
+	// correction traffic target in messages per tick across all streams.
+	BudgetPerTick float64
+	// Allocator picks the budget allocator: "uniform", "fair-share",
+	// "water-filling" (default), or "aimd".
+	Allocator string
+	// AllocPeriod is the reallocation interval in ticks (default 200).
+	AllocPeriod int64
+}
+
+// System is a single-process stream resource manager: the server-side
+// replica cache plus the attached sources, driven by a shared tick clock.
+// It is not safe for concurrent use; drive it from one goroutine (the TCP
+// server in cmd/kfserver shows the networked, concurrent deployment).
+type System struct {
+	srv     *server.Server
+	eng     *query.Engine
+	coord   *resource.Coordinator
+	subs    *query.Subscriptions
+	handles map[string]*StreamHandle
+	tick    int64
+}
+
+// Predicate is a continuous range condition on a stream.
+type Predicate = query.Predicate
+
+// Event reports a predicate's truth-state transition.
+type Event = query.Event
+
+// NewSystem constructs a System.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	s := &System{
+		srv:     server.New(),
+		handles: make(map[string]*StreamHandle),
+	}
+	s.eng = query.New(s.srv)
+	s.subs = s.eng.NewSubscriptions()
+	if cfg.BudgetPerTick > 0 {
+		name := cfg.Allocator
+		if name == "" {
+			name = "water-filling"
+		}
+		alloc, err := resource.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		coord, err := resource.NewCoordinator(alloc, s.srv, resource.CoordinatorConfig{
+			BudgetPerTick: cfg.BudgetPerTick,
+			Period:        cfg.AllocPeriod,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+	}
+	return s, nil
+}
+
+// StreamHandle is the source-side handle for one attached stream.
+type StreamHandle struct {
+	sys  *System
+	src  *source.Source
+	link *netsim.Link
+}
+
+// Attach registers a stream and returns its source-side handle.
+func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
+	if err := s.srv.Register(cfg.ID, cfg.Predictor, cfg.Delta); err != nil {
+		return nil, err
+	}
+	link := netsim.NewLink(func(m *netsim.Message) {
+		// The link delivers into the server; a delivery failure is a
+		// protocol bug, surfaced on the next Observe.
+		if err := s.srv.Apply(m); err != nil {
+			panic(fmt.Sprintf("core: replica apply failed: %v", err))
+		}
+	}, netsim.LinkConfig{
+		DelayTicks: cfg.LinkDelayTicks,
+		DropProb:   cfg.LinkDropProb,
+		Seed:       cfg.LinkSeed,
+	})
+	src, err := source.New(source.Config{
+		StreamID:       cfg.ID,
+		Spec:           cfg.Predictor,
+		Delta:          cfg.Delta,
+		DeviationNorm:  cfg.DeviationNorm,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		ResyncEvery:    cfg.ResyncEvery,
+	}, link.Send)
+	if err != nil {
+		_ = s.srv.Unregister(cfg.ID)
+		return nil, err
+	}
+	if err := s.srv.SetNorm(cfg.ID, cfg.DeviationNorm); err != nil {
+		_ = s.srv.Unregister(cfg.ID)
+		return nil, err
+	}
+	h := &StreamHandle{sys: s, src: src, link: link}
+	if s.coord != nil {
+		if err := s.coord.Manage(src, resource.ManagedOptions{
+			Weight:   cfg.Weight,
+			MinDelta: cfg.MinDelta,
+			MaxDelta: cfg.MaxDelta,
+		}); err != nil {
+			_ = s.srv.Unregister(cfg.ID)
+			return nil, err
+		}
+	}
+	s.handles[cfg.ID] = h
+	return h, nil
+}
+
+// Advance moves the system clock one tick: subscriptions fire for the
+// tick that just settled, the budget coordinator reallocates, every
+// replica takes its time update, and delayed messages mature. Call once
+// per tick, before that tick's Observe calls.
+func (s *System) Advance() error {
+	if s.tick > 0 {
+		if err := s.subs.Poll(s.tick - 1); err != nil {
+			return err
+		}
+	}
+	if s.coord != nil {
+		if err := s.coord.Tick(); err != nil {
+			return err
+		}
+	}
+	s.srv.Tick()
+	for _, h := range s.handles {
+		h.link.Tick()
+	}
+	s.tick++
+	return nil
+}
+
+// Tick returns the current clock value (number of Advance calls).
+func (s *System) Tick() int64 { return s.tick }
+
+// Observe feeds one measurement for the current tick through the
+// stream's precision gate, reporting whether a correction was sent.
+func (h *StreamHandle) Observe(value []float64) (sent bool, err error) {
+	return h.src.Observe(h.sys.tick-1, value)
+}
+
+// Delta returns the stream's current precision bound.
+func (h *StreamHandle) Delta() float64 { return h.src.Delta() }
+
+// SetDelta changes the stream's precision bound at both endpoints.
+func (h *StreamHandle) SetDelta(delta float64) error {
+	if err := h.src.SetDelta(delta); err != nil {
+		return err
+	}
+	return h.sys.srv.SetDelta(h.src.StreamID(), delta)
+}
+
+// Stats returns the gate counters for the stream.
+func (h *StreamHandle) Stats() SourceStats { return h.src.Stats() }
+
+// LinkStats returns the uplink traffic counters for the stream.
+func (h *StreamHandle) LinkStats() LinkStats { return h.link.Stats() }
+
+// ID returns the stream identifier.
+func (h *StreamHandle) ID() string { return h.src.StreamID() }
+
+// Prediction returns the source's view of what the server is predicting
+// for this stream. On an unimpaired link it matches the server exactly;
+// under loss or delay the difference is the current replica divergence.
+func (h *StreamHandle) Prediction() []float64 { return h.src.Prediction() }
+
+// Value answers a bounded point query for component 0 of a stream.
+func (s *System) Value(id string) (Answer, error) { return s.eng.Value(id, 0) }
+
+// ValueAt answers a bounded point query for a specific component.
+func (s *System) ValueAt(id string, component int) (Answer, error) {
+	return s.eng.Value(id, component)
+}
+
+// Vector answers the full estimate vector and bound for a stream.
+func (s *System) Vector(id string) ([]float64, float64, error) { return s.srv.Value(id) }
+
+// Sum answers Σ over streams with a composed bound.
+func (s *System) Sum(ids []string) (Answer, error) { return s.eng.Sum(ids, 0) }
+
+// Average answers the mean over streams with a composed bound.
+func (s *System) Average(ids []string) (Answer, error) { return s.eng.Average(ids, 0) }
+
+// Min answers the minimum with a guaranteed enclosure.
+func (s *System) Min(ids []string) (Answer, Interval, error) { return s.eng.Min(ids, 0) }
+
+// Max answers the maximum with a guaranteed enclosure.
+func (s *System) Max(ids []string) (Answer, Interval, error) { return s.eng.Max(ids, 0) }
+
+// Within answers a range predicate with certainty tracking.
+func (s *System) Within(id string, lo, hi float64) (Tristate, error) {
+	return s.eng.Within(id, 0, lo, hi)
+}
+
+// ProbValue answers a probabilistic point query at the given confidence
+// level (e.g. 0.95) from the replica's predictive distribution. Requires
+// a Kalman-family predictor.
+func (s *System) ProbValue(id string, confidence float64) (ProbAnswer, error) {
+	return s.eng.ProbValue(id, 0, confidence)
+}
+
+// WeightedSum answers Σ wᵢ·vᵢ over streams with the composed bound
+// Σ |wᵢ|·δᵢ.
+func (s *System) WeightedSum(ids []string, weights []float64) (Answer, error) {
+	return s.eng.WeightedSum(ids, weights, 0)
+}
+
+// Distance answers a 2-D L2-gated stream's Euclidean distance to a point
+// with a guaranteed bound.
+func (s *System) Distance(id string, px, py float64) (Answer, error) {
+	return s.eng.Distance(id, px, py)
+}
+
+// WithinRadius answers a geofence predicate on a 2-D L2-gated stream;
+// True and False are certain.
+func (s *System) WithinRadius(id string, px, py, radius float64) (Tristate, error) {
+	return s.eng.WithinRadius(id, px, py, radius)
+}
+
+// Separation answers the distance between two 2-D L2-gated streams with
+// the composed bound.
+func (s *System) Separation(idA, idB string) (Answer, error) {
+	return s.eng.Separation(idA, idB)
+}
+
+// CloserThan answers a proximity predicate between two 2-D L2-gated
+// streams; True and False are certain.
+func (s *System) CloserThan(idA, idB string, distance float64) (Tristate, error) {
+	return s.eng.CloserThan(idA, idB, distance)
+}
+
+// Window returns a sliding window over a stream component for windowed
+// aggregates; call its Sample method once per tick.
+func (s *System) Window(id string, component, size int) (*query.Window, error) {
+	return s.eng.NewWindow(id, component, size)
+}
+
+// Subscribe registers a continuous predicate on component 0 of a stream;
+// fn fires on every truth-state transition, evaluated automatically as
+// each tick settles (during the next Advance). Notifications carrying
+// True or False are certain; Unknown marks a δ-straddled range edge.
+func (s *System) Subscribe(id string, lo, hi float64, fn func(Event)) (int, error) {
+	return s.subs.Subscribe(Predicate{StreamID: id, Lo: lo, Hi: hi}, fn)
+}
+
+// Unsubscribe removes a subscription.
+func (s *System) Unsubscribe(subID int) error { return s.subs.Unsubscribe(subID) }
+
+// EnableHistory starts archiving a stream's settled per-tick answers in a
+// ring of the given capacity, enabling historical queries.
+func (s *System) EnableHistory(id string, capacity int) error {
+	return s.srv.EnableHistory(id, capacity)
+}
+
+// HistoryAt returns the archived answer for a past tick.
+func (s *System) HistoryAt(id string, tick int64) (server.HistoryEntry, error) {
+	return s.srv.HistoryAt(id, tick)
+}
+
+// HistoryAverage answers the mean over past ticks [from, to] with the
+// composed bound.
+func (s *System) HistoryAverage(id string, from, to int64) (Answer, error) {
+	return s.eng.HistoryAverage(id, 0, from, to)
+}
+
+// HistoryExtremes returns guaranteed enclosures of the true minimum and
+// maximum over past ticks [from, to].
+func (s *System) HistoryExtremes(id string, from, to int64) (minIv, maxIv Interval, err error) {
+	return s.eng.HistoryExtremes(id, 0, from, to)
+}
+
+// StreamIDs lists attached streams in sorted order.
+func (s *System) StreamIDs() []string { return s.srv.StreamIDs() }
+
+// Info returns the server-side diagnostic snapshot for a stream.
+func (s *System) Info(id string) (server.StreamInfo, error) { return s.srv.Info(id) }
+
+// TotalMessages sums correction traffic across all uplinks.
+func (s *System) TotalMessages() int64 {
+	var n int64
+	for _, h := range s.handles {
+		n += h.link.Stats().Messages
+	}
+	return n
+}
+
+// TotalBytes sums correction bytes across all uplinks.
+func (s *System) TotalBytes() int64 {
+	var n int64
+	for _, h := range s.handles {
+		n += h.link.Stats().Bytes
+	}
+	return n
+}

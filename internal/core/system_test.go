@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream/internal/stream"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(SystemConfig{BudgetPerTick: 1, Allocator: "bogus"}); err == nil {
+		t.Fatal("bad allocator accepted")
+	}
+	if _, err := NewSystem(SystemConfig{BudgetPerTick: 1}); err != nil {
+		t.Fatalf("default allocator: %v", err)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Attach(StreamConfig{ID: "", Predictor: StaticCache(1), Delta: 1}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := sys.Attach(StreamConfig{ID: "a", Predictor: PredictorSpec{Kind: "bogus"}, Delta: 1}); err == nil {
+		t.Fatal("bad predictor accepted")
+	}
+	// A failed attach must not leave the id registered.
+	if _, err := sys.Attach(StreamConfig{ID: "a", Predictor: StaticCache(1), Delta: 1}); err != nil {
+		t.Fatalf("attach after failed attach: %v", err)
+	}
+	if _, err := sys.Attach(StreamConfig{ID: "a", Predictor: StaticCache(1), Delta: 1}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestEndToEndValueQuery(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{ID: "t", Predictor: KalmanConstantVelocity(0.01, 0.1), Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewSine(1, 20, 5, 300, 0, 0.1, 2000)
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		sent, err := h.Observe(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := sys.Value("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sent && math.Abs(ans.Estimate-p.Value[0]) > ans.Bound+1e-9 {
+			t.Fatalf("tick %d: answer %v±%v vs measurement %v", p.Tick, ans.Estimate, ans.Bound, p.Value[0])
+		}
+	}
+	st := h.Stats()
+	if st.SuppressionRatio() < 0.5 {
+		t.Fatalf("suppression ratio %v unexpectedly low for a smooth sine", st.SuppressionRatio())
+	}
+	ls := h.LinkStats()
+	if ls.Messages != st.Sent {
+		t.Fatalf("link messages %d != gate sent %d", ls.Messages, st.Sent)
+	}
+	if sys.TotalMessages() != ls.Messages {
+		t.Fatalf("TotalMessages %d != link %d", sys.TotalMessages(), ls.Messages)
+	}
+	if sys.TotalBytes() != ls.Bytes {
+		t.Fatalf("TotalBytes %d != link %d", sys.TotalBytes(), ls.Bytes)
+	}
+	if h.ID() != "t" {
+		t.Fatal("handle id wrong")
+	}
+	if sys.Tick() != 2000 {
+		t.Fatalf("tick = %d", sys.Tick())
+	}
+}
+
+func TestAggregateQueriesAcrossStreams(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c"}
+	var handles []*StreamHandle
+	for _, id := range ids {
+		h, err := sys.Attach(StreamConfig{ID: id, Predictor: StaticCache(1), Delta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := sys.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if _, err := h.Observe([]float64{float64(10 * (i + 1))}); err != nil { // 10, 20, 30
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Advance(); err != nil { // move past exact-answer tick
+		t.Fatal(err)
+	}
+	sum, err := sys.Sum(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Estimate != 60 || sum.Bound != 3 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	avg, err := sys.Average(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Estimate != 20 || avg.Bound != 1 {
+		t.Fatalf("avg = %+v", avg)
+	}
+	minAns, minIv, err := sys.Min(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minAns.Estimate != 10 || minIv.Lo != 9 || minIv.Hi != 11 {
+		t.Fatalf("min = %+v %+v", minAns, minIv)
+	}
+	maxAns, _, err := sys.Max(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAns.Estimate != 30 {
+		t.Fatalf("max = %+v", maxAns)
+	}
+	ts, err := sys.Within("a", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != True {
+		t.Fatalf("within = %v", ts)
+	}
+	if got := sys.StreamIDs(); len(got) != 3 || got[0] != "a" {
+		t.Fatalf("ids = %v", got)
+	}
+	info, err := sys.Info("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Corrections != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	vec, bound, err := sys.Vector("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0] != 10 || bound != 1 {
+		t.Fatalf("vector = %v ± %v", vec, bound)
+	}
+	if _, err := sys.ValueAt("a", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDeltaPropagates(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{ID: "a", Predictor: StaticCache(1), Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetDelta(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if h.Delta() != 0.25 {
+		t.Fatalf("source delta = %v", h.Delta())
+	}
+	if err := sys.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Observe([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Value("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Bound != 0.25 {
+		t.Fatalf("server bound = %v", ans.Bound)
+	}
+}
+
+func TestBudgetedSystemAdaptsDeltas(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{BudgetPerTick: 0.05, Allocator: "fair-share", AllocPeriod: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*StreamHandle
+	var gens []stream.Stream
+	for i := 0; i < 3; i++ {
+		id := string(rune('a' + i))
+		h, err := sys.Attach(StreamConfig{
+			ID:        id,
+			Predictor: KalmanRandomWalk(1, 0.01),
+			Delta:     0.5,
+			Weight:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		gens = append(gens, stream.NewRandomWalk(int64(i+1), 0, float64(i+1), 0.05, 4000))
+	}
+	for tick := 0; tick < 4000; tick++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		for i, g := range gens {
+			p, ok := g.Next()
+			if !ok {
+				t.Fatal("stream ended")
+			}
+			if _, err := handles[i].Observe(p.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// All deltas must have moved off the initial 0.5, and the most
+	// volatile stream should carry the loosest bound.
+	d0, d2 := handles[0].Delta(), handles[2].Delta()
+	if d0 == 0.5 && d2 == 0.5 {
+		t.Fatal("budget manager never adjusted deltas")
+	}
+	if d2 <= d0 {
+		t.Fatalf("volatile stream δ %v not looser than calm stream δ %v", d2, d0)
+	}
+}
+
+func TestWindowedQueryThroughSystem(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{ID: "w", Predictor: StaticCache(1), Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := sys.Window("w", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := win.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg, err := win.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last 4 values are 6..9 (δ=0.5 static cache may lag one step but
+	// bound composition must still hold against the true mean 7.5).
+	trueMean := 7.5
+	if math.Abs(avg.Estimate-trueMean) > avg.Bound+1e-9 {
+		t.Fatalf("window avg %v±%v vs true %v", avg.Estimate, avg.Bound, trueMean)
+	}
+}
+
+func TestLossyLinkDegradesGracefully(t *testing.T) {
+	// With an impaired uplink the bound is best-effort; the system must
+	// keep running and the server must converge back after losses.
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{
+		ID:           "lossy",
+		Predictor:    StaticCache(1),
+		Delta:        1,
+		LinkDropProb: 0.3,
+		LinkSeed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewRandomWalk(9, 0, 1, 0.1, 2000)
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe(p.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls := h.LinkStats()
+	if ls.Dropped == 0 {
+		t.Fatal("no drops on a lossy link")
+	}
+	if ls.Messages == 0 {
+		t.Fatal("no deliveries on a lossy link")
+	}
+}

@@ -1,0 +1,220 @@
+// Package harness defines and runs the evaluation suite E1–E13: the
+// reconstruction of every table and figure in the paper's evaluation (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for results and
+// expected shapes). Each experiment produces plain-text tables; figures
+// are rendered as x/y series tables.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"kalmanstream/internal/metrics"
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/server"
+	"kalmanstream/internal/source"
+	"kalmanstream/internal/stream"
+)
+
+// Config parameterizes an experiment run. The zero value means "paper
+// scale"; tests and smoke runs shrink Ticks.
+type Config struct {
+	// Ticks is the stream length (default 50000).
+	Ticks int64
+	// Seed drives every generator in the experiment (default 42).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ticks <= 0 {
+		c.Ticks = 50000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+}
+
+// String renders all tables.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += "\n" + t.String()
+	}
+	return out
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID (E1, E10 sorts after E9 via
+// numeric-aware ordering).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// RunStats summarizes one (method, δ, stream) protocol run.
+type RunStats struct {
+	Method     string
+	Delta      float64
+	Ticks      int64
+	Messages   int64
+	Bytes      int64
+	Heartbeats int64
+	// Err accumulates |server answer − measurement| over every tick.
+	Err metrics.Error
+	// SuppressedErr accumulates the same but only over suppressed ticks,
+	// where the δ guarantee applies.
+	SuppressedErr metrics.Error
+	// Violations checks the δ bound on suppressed ticks; its Count must
+	// be zero on unimpaired links.
+	Violations metrics.Violations
+}
+
+// SuppressionRatio is the fraction of ticks with no message.
+func (r RunStats) SuppressionRatio() float64 {
+	if r.Ticks == 0 {
+		return 0
+	}
+	return float64(r.Ticks-r.Messages) / float64(r.Ticks)
+}
+
+// Run drives one (predictor, δ) pair over a stream through the full
+// source/link/server pipeline and collects statistics.
+func Run(spec predictor.Spec, delta float64, norm source.Norm, st stream.Stream) (RunStats, error) {
+	srv := server.New()
+	id := st.Name()
+	if err := srv.Register(id, spec, delta); err != nil {
+		return RunStats{}, err
+	}
+	var applyErr error
+	link := netsim.NewLink(func(m *netsim.Message) {
+		if err := srv.Apply(m); err != nil && applyErr == nil {
+			applyErr = err
+		}
+	}, netsim.LinkConfig{})
+	src, err := source.New(source.Config{
+		StreamID:      id,
+		Spec:          spec,
+		Delta:         delta,
+		DeviationNorm: norm,
+	}, link.Send)
+	if err != nil {
+		return RunStats{}, err
+	}
+
+	stats := RunStats{Delta: delta}
+	for {
+		p, ok := st.Next()
+		if !ok {
+			break
+		}
+		srv.Tick()
+		sent, err := src.Observe(p.Tick, p.Value)
+		if err != nil {
+			return stats, err
+		}
+		if applyErr != nil {
+			return stats, applyErr
+		}
+		est, bound, err := srv.Value(id)
+		if err != nil {
+			return stats, err
+		}
+		dev := norm.Deviation(p.Value, est)
+		stats.Err.AddScalar(dev)
+		if !sent {
+			stats.SuppressedErr.AddScalar(dev)
+			stats.Violations.Check(dev, bound)
+		}
+		stats.Ticks++
+	}
+	s := src.Stats()
+	ls := link.Stats()
+	stats.Messages = s.Sent
+	stats.Bytes = ls.Bytes
+	stats.Heartbeats = s.Heartbeats
+	return stats, nil
+}
+
+// method pairs a display name with a predictor spec.
+type method struct {
+	name string
+	spec predictor.Spec
+}
+
+// baselineMethods returns the five comparison methods for scalar streams,
+// with the Kalman predictor using the given model.
+func baselineMethods(kfModel predictor.ModelSpec) []method {
+	return []method{
+		{"cache", predictor.Spec{Kind: predictor.KindStatic, Dim: 1}},
+		{"dead-reckon", predictor.Spec{Kind: predictor.KindDeadReckoning, Dim: 1}},
+		{"ewma", predictor.Spec{Kind: predictor.KindEWMA, Dim: 1, Alpha: 0.3}},
+		{"holt", predictor.Spec{Kind: predictor.KindHolt, Dim: 1, Alpha: 0.4, Beta: 0.1}},
+		{"kalman", predictor.Spec{Kind: predictor.KindKalman, Model: kfModel}},
+	}
+}
+
+// cvModel is the default constant-velocity Kalman model used when a
+// stream has smooth local dynamics.
+func cvModel(q, r float64) predictor.ModelSpec {
+	return predictor.ModelSpec{Kind: predictor.ModelConstantVelocity, Q: q, R: r}
+}
+
+// deltaGrid returns bounds expressed as multiples of a stream's per-tick
+// volatility so "tight" and "loose" are comparable across streams.
+func deltaGrid(volatility float64, multiples ...float64) []float64 {
+	out := make([]float64, len(multiples))
+	for i, m := range multiples {
+		out[i] = m * volatility
+	}
+	return out
+}
+
+// measureVolatility records a fresh copy of the generator to estimate its
+// per-tick movement scale.
+func measureVolatility(mk func() stream.Stream) float64 {
+	pts := stream.Record(mk())
+	return stream.Volatility(pts, 0)
+}

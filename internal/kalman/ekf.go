@@ -1,0 +1,151 @@
+package kalman
+
+import (
+	"fmt"
+
+	"kalmanstream/internal/mat"
+)
+
+// NonlinearModel describes a nonlinear state-space system for the
+// extended Kalman filter:
+//
+//	x_{t+1} = F(x_t) + w_t,   w ~ N(0, Q)
+//	z_t     = H(x_t) + v_t,   v ~ N(0, R)
+//
+// with user-supplied Jacobians. This serves sources whose sensors are
+// nonlinear functions of the tracked state (range/bearing radar,
+// log-scaled gauges); the linear protocol machinery is unchanged — an EKF
+// is just another deterministic replicable procedure, albeit one whose
+// closures cannot travel in a registration payload, so both endpoints
+// must link the model in code.
+type NonlinearModel struct {
+	// Name identifies the model for diagnostics.
+	Name string
+	// StateDim and ObsDim fix the dimensions.
+	StateDim, ObsDim int
+	// F is the state-transition function.
+	F func(x []float64) []float64
+	// FJacobian is ∂F/∂x evaluated at x (StateDim×StateDim).
+	FJacobian func(x []float64) *mat.Matrix
+	// H is the observation function.
+	H func(x []float64) []float64
+	// HJacobian is ∂H/∂x evaluated at x (ObsDim×StateDim).
+	HJacobian func(x []float64) *mat.Matrix
+	// Q is the process-noise covariance (StateDim×StateDim).
+	Q *mat.Matrix
+	// R is the measurement-noise covariance (ObsDim×ObsDim).
+	R *mat.Matrix
+}
+
+// Validate checks the model's completeness and dimensions.
+func (m *NonlinearModel) Validate() error {
+	if m.StateDim <= 0 || m.ObsDim <= 0 {
+		return fmt.Errorf("kalman: nonlinear model dims %d/%d must be positive", m.StateDim, m.ObsDim)
+	}
+	if m.F == nil || m.FJacobian == nil || m.H == nil || m.HJacobian == nil {
+		return fmt.Errorf("kalman: nonlinear model %q has nil functions", m.Name)
+	}
+	if m.Q == nil || m.Q.Rows() != m.StateDim || m.Q.Cols() != m.StateDim {
+		return fmt.Errorf("kalman: nonlinear model %q Q must be %d×%d", m.Name, m.StateDim, m.StateDim)
+	}
+	if m.R == nil || m.R.Rows() != m.ObsDim || m.R.Cols() != m.ObsDim {
+		return fmt.Errorf("kalman: nonlinear model %q R must be %d×%d", m.Name, m.ObsDim, m.ObsDim)
+	}
+	return nil
+}
+
+// EKF is a first-order extended Kalman filter.
+type EKF struct {
+	model NonlinearModel
+	x     []float64
+	p     *mat.Matrix
+}
+
+// NewEKF constructs an extended Kalman filter.
+func NewEKF(model NonlinearModel, x0 []float64, p0 *mat.Matrix) (*EKF, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != model.StateDim {
+		return nil, fmt.Errorf("kalman: initial state has length %d, want %d", len(x0), model.StateDim)
+	}
+	if p0.Rows() != model.StateDim || p0.Cols() != model.StateDim {
+		return nil, fmt.Errorf("kalman: initial covariance is %d×%d, want %d×%d",
+			p0.Rows(), p0.Cols(), model.StateDim, model.StateDim)
+	}
+	return &EKF{
+		model: model,
+		x:     mat.VecClone(x0),
+		p:     p0.Clone(),
+	}, nil
+}
+
+// Predict performs the time update through the nonlinear dynamics,
+// propagating covariance through the local linearization.
+func (e *EKF) Predict() {
+	fj := e.model.FJacobian(e.x)
+	e.x = e.model.F(e.x)
+	if len(e.x) != e.model.StateDim {
+		panic(fmt.Sprintf("kalman: nonlinear F returned %d values, want %d", len(e.x), e.model.StateDim))
+	}
+	e.p = mat.Add(mat.Mul3(fj, e.p, mat.Transpose(fj)), e.model.Q)
+	mat.Symmetrize(e.p)
+}
+
+// Update performs the measurement update with observation z via the
+// Joseph-form covariance update at the current linearization point.
+func (e *EKF) Update(z []float64) error {
+	if len(z) != e.model.ObsDim {
+		return fmt.Errorf("kalman: observation has length %d, want %d", len(z), e.model.ObsDim)
+	}
+	hx := e.model.H(e.x)
+	if len(hx) != e.model.ObsDim {
+		return fmt.Errorf("kalman: nonlinear H returned %d values, want %d", len(hx), e.model.ObsDim)
+	}
+	hj := e.model.HJacobian(e.x)
+	y := mat.VecSub(z, hx)
+	s := mat.Add(mat.Mul3(hj, e.p, mat.Transpose(hj)), e.model.R)
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	}
+	k := mat.Mul3(e.p, mat.Transpose(hj), sInv)
+	ky := mat.MulVec(k, y)
+	for i := range e.x {
+		e.x[i] += ky[i]
+	}
+	n := e.model.StateDim
+	ikh := mat.Identity(n)
+	mat.SubTo(ikh, ikh, mat.Mul(k, hj))
+	e.p = mat.Add(mat.Mul3(ikh, e.p, mat.Transpose(ikh)), mat.Mul3(k, e.model.R, mat.Transpose(k)))
+	mat.Symmetrize(e.p)
+	return nil
+}
+
+// State returns a copy of the state estimate.
+func (e *EKF) State() []float64 { return mat.VecClone(e.x) }
+
+// Covariance returns a copy of the estimate covariance.
+func (e *EKF) Covariance() *mat.Matrix { return e.p.Clone() }
+
+// Observation returns H(x), the predicted observation at the current
+// state.
+func (e *EKF) Observation() []float64 { return e.model.H(e.x) }
+
+// LinearAsNonlinear wraps a linear Model in nonlinear form; an EKF over
+// the result must reproduce the linear filter exactly, which is both a
+// correctness check and a migration path.
+func LinearAsNonlinear(m *Model) NonlinearModel {
+	model := m.Clone()
+	return NonlinearModel{
+		Name:      model.Name + "-as-nonlinear",
+		StateDim:  model.StateDim(),
+		ObsDim:    model.ObsDim(),
+		F:         func(x []float64) []float64 { return mat.MulVec(model.F, x) },
+		FJacobian: func([]float64) *mat.Matrix { return model.F },
+		H:         func(x []float64) []float64 { return mat.MulVec(model.H, x) },
+		HJacobian: func([]float64) *mat.Matrix { return model.H },
+		Q:         model.Q,
+		R:         model.R,
+	}
+}

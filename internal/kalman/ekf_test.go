@@ -1,0 +1,195 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kalmanstream/internal/mat"
+)
+
+func TestNonlinearModelValidate(t *testing.T) {
+	good := LinearAsNonlinear(ConstantVelocity(1, 0.1, 1))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.F = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil F accepted")
+	}
+	bad = good
+	bad.Q = mat.Identity(3)
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong Q dims accepted")
+	}
+	bad = good
+	bad.StateDim = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero state dim accepted")
+	}
+	bad = good
+	bad.R = mat.Identity(2)
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong R dims accepted")
+	}
+}
+
+func TestNewEKFValidation(t *testing.T) {
+	m := LinearAsNonlinear(RandomWalk(1, 1))
+	if _, err := NewEKF(m, []float64{0, 0}, InitialCovariance(1, 1)); err == nil {
+		t.Error("wrong state length accepted")
+	}
+	if _, err := NewEKF(m, []float64{0}, InitialCovariance(2, 1)); err == nil {
+		t.Error("wrong covariance accepted")
+	}
+	bad := m
+	bad.H = nil
+	if _, err := NewEKF(bad, []float64{0}, InitialCovariance(1, 1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// TestPropEKFMatchesLinearKF: on a linear model, the EKF must reproduce
+// the linear Kalman filter trajectory exactly — the strongest correctness
+// anchor for the EKF update equations.
+func TestPropEKFMatchesLinearKF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		models := []*Model{
+			RandomWalk(0.1+rng.Float64(), 0.1+rng.Float64()),
+			ConstantVelocity(1, 0.01+rng.Float64(), 0.1+rng.Float64()),
+			ConstantVelocity2D(1, 0.01+rng.Float64(), 0.1+rng.Float64()),
+		}
+		model := models[rng.Intn(len(models))]
+		n := model.StateDim()
+		kf := MustFilter(model, make([]float64, n), InitialCovariance(n, 1+rng.Float64()*5))
+		ekf, err := NewEKF(LinearAsNonlinear(model), make([]float64, n), InitialCovariance(n, kf.Covariance().At(0, 0)))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			kf.Predict()
+			ekf.Predict()
+			if rng.Float64() < 0.6 {
+				z := make([]float64, model.ObsDim())
+				for j := range z {
+					z[j] = rng.NormFloat64() * 5
+				}
+				if err := kf.Update(z); err != nil {
+					return false
+				}
+				if err := ekf.Update(z); err != nil {
+					return false
+				}
+			}
+			if !mat.VecEqualApprox(kf.State(), ekf.State(), 1e-9) {
+				return false
+			}
+			if !mat.EqualApprox(kf.Covariance(), ekf.Covariance(), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rangeBearingModel tracks a planar constant-velocity target from a
+// sensor at the origin observing (range, bearing) — the canonical EKF
+// problem.
+func rangeBearingModel(dt, q, rRange, rBearing float64) NonlinearModel {
+	lin := ConstantVelocity2D(dt, q, 1) // F and Q reused; H replaced
+	return NonlinearModel{
+		Name:     "range-bearing",
+		StateDim: 4,
+		ObsDim:   2,
+		F:        func(x []float64) []float64 { return mat.MulVec(lin.F, x) },
+		FJacobian: func([]float64) *mat.Matrix {
+			return lin.F
+		},
+		H: func(x []float64) []float64 {
+			return []float64{math.Hypot(x[0], x[1]), math.Atan2(x[1], x[0])}
+		},
+		HJacobian: func(x []float64) *mat.Matrix {
+			r2 := x[0]*x[0] + x[1]*x[1]
+			r := math.Sqrt(r2)
+			return mat.FromSlice(2, 4, []float64{
+				x[0] / r, x[1] / r, 0, 0,
+				-x[1] / r2, x[0] / r2, 0, 0,
+			})
+		},
+		Q: lin.Q,
+		R: mat.Diag(rRange, rBearing),
+	}
+}
+
+func TestEKFTracksRangeBearingTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := rangeBearingModel(1, 0.001, 1.0, 0.0004) // σ_r = 1 m, σ_θ = 0.02 rad
+	ekf, err := NewEKF(model, []float64{95, 55, 0, 0}, InitialCovariance(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target starts at (100, 50) moving (1, -0.5) per tick, staying well
+	// away from the origin where bearings degenerate.
+	px, py, vx, vy := 100.0, 50.0, 1.0, -0.5
+	var sse float64
+	const n = 600
+	for i := 0; i < n; i++ {
+		px += vx
+		py += vy
+		z := []float64{
+			math.Hypot(px, py) + rng.NormFloat64(),
+			math.Atan2(py, px) + rng.NormFloat64()*0.02,
+		}
+		ekf.Predict()
+		if err := ekf.Update(z); err != nil {
+			t.Fatal(err)
+		}
+		if i > n/2 {
+			st := ekf.State()
+			dx, dy := st[0]-px, st[1]-py
+			sse += dx*dx + dy*dy
+		}
+	}
+	rmse := math.Sqrt(sse / float64(n/2))
+	// At 700 m range, a 0.02 rad bearing error alone is ≈14 m of cross-
+	// range uncertainty per fix; the filter must do much better than a
+	// single fix by fusing the track.
+	if rmse > 8 {
+		t.Fatalf("range-bearing RMSE %.2f m too high", rmse)
+	}
+	st := ekf.State()
+	if math.Abs(st[2]-vx) > 0.3 || math.Abs(st[3]-vy) > 0.3 {
+		t.Fatalf("velocity estimate (%.2f, %.2f), want ≈(%.1f, %.1f)", st[2], st[3], vx, vy)
+	}
+}
+
+func TestEKFUpdateValidatesObservation(t *testing.T) {
+	ekf, err := NewEKF(LinearAsNonlinear(RandomWalk(1, 1)), []float64{0}, InitialCovariance(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ekf.Update([]float64{1, 2}); err == nil {
+		t.Fatal("wrong-length observation accepted")
+	}
+}
+
+func TestEKFObservation(t *testing.T) {
+	model := rangeBearingModel(1, 0.001, 1, 0.001)
+	ekf, err := NewEKF(model, []float64{3, 4, 0, 0}, InitialCovariance(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := ekf.Observation()
+	if math.Abs(obs[0]-5) > 1e-12 {
+		t.Fatalf("range = %v, want 5", obs[0])
+	}
+	if math.Abs(obs[1]-math.Atan2(4, 3)) > 1e-12 {
+		t.Fatalf("bearing = %v", obs[1])
+	}
+}

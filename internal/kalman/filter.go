@@ -1,0 +1,287 @@
+package kalman
+
+import (
+	"fmt"
+	"math"
+
+	"kalmanstream/internal/mat"
+)
+
+// Filter is a discrete-time linear Kalman filter over a Model.
+//
+// The usual cycle per tick is Predict (time update) followed, when a
+// measurement is available, by Update (measurement update). Skipping
+// Update on a tick is exactly the suppression mechanism the stream system
+// exploits: the filter coasts on its dynamics.
+type Filter struct {
+	model *Model
+	x     []float64   // state estimate
+	p     *mat.Matrix // estimate covariance
+
+	// Scratch buffers reused across steps to keep the hot loop
+	// allocation-free.
+	xNext  []float64
+	ft     *mat.Matrix // Fᵀ
+	ht     *mat.Matrix // Hᵀ
+	tmpNN  *mat.Matrix
+	tmpNN2 *mat.Matrix
+	tmpNM  *mat.Matrix
+	tmpMN  *mat.Matrix
+	tmpMM  *mat.Matrix
+	gain   *mat.Matrix // K, n×m
+	innov  []float64
+	hx     []float64
+
+	ticks   uint64 // Predict calls since construction
+	updates uint64 // Update calls since construction
+}
+
+// NewFilter constructs a filter for model with initial state x0 and
+// initial covariance p0. The model and inputs are deep-copied, so a source
+// and a server can construct byte-identical replicas from the same spec.
+func NewFilter(model *Model, x0 []float64, p0 *mat.Matrix) (*Filter, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := model.StateDim(), model.ObsDim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("kalman: initial state has length %d, want %d", len(x0), n)
+	}
+	if p0.Rows() != n || p0.Cols() != n {
+		return nil, fmt.Errorf("kalman: initial covariance is %d×%d, want %d×%d", p0.Rows(), p0.Cols(), n, n)
+	}
+	f := &Filter{
+		model:  model.Clone(),
+		x:      mat.VecClone(x0),
+		p:      p0.Clone(),
+		xNext:  make([]float64, n),
+		ft:     mat.Transpose(model.F),
+		ht:     mat.Transpose(model.H),
+		tmpNN:  mat.New(n, n),
+		tmpNN2: mat.New(n, n),
+		tmpNM:  mat.New(n, m),
+		tmpMN:  mat.New(m, n),
+		tmpMM:  mat.New(m, m),
+		gain:   mat.New(n, m),
+		innov:  make([]float64, m),
+		hx:     make([]float64, m),
+	}
+	return f, nil
+}
+
+// MustFilter is NewFilter that panics on error; for model constructors
+// whose dimensions are correct by construction.
+func MustFilter(model *Model, x0 []float64, p0 *mat.Matrix) *Filter {
+	f, err := NewFilter(model, x0, p0)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Model returns a copy of the filter's model.
+func (f *Filter) Model() *Model { return f.model.Clone() }
+
+// Predict performs the time update:
+//
+//	x ← F·x
+//	P ← F·P·Fᵀ + Q
+func (f *Filter) Predict() {
+	mat.MulVecTo(f.xNext, f.model.F, f.x)
+	copy(f.x, f.xNext)
+
+	mat.MulTo(f.tmpNN, f.model.F, f.p)  // F·P
+	mat.MulTo(f.tmpNN2, f.tmpNN, f.ft)  // F·P·Fᵀ
+	mat.AddTo(f.p, f.tmpNN2, f.model.Q) // + Q
+	mat.Symmetrize(f.p)
+	f.ticks++
+}
+
+// Update performs the measurement update with observation z using the
+// Joseph-form covariance update:
+//
+//	y = z − H·x
+//	S = H·P·Hᵀ + R
+//	K = P·Hᵀ·S⁻¹
+//	x ← x + K·y
+//	P ← (I−KH)·P·(I−KH)ᵀ + K·R·Kᵀ
+//
+// Returns an error if the innovation covariance S is singular.
+func (f *Filter) Update(z []float64) error {
+	m := f.model.ObsDim()
+	if len(z) != m {
+		return fmt.Errorf("kalman: observation has length %d, want %d", len(z), m)
+	}
+	// Innovation y = z − H·x.
+	mat.MulVecTo(f.hx, f.model.H, f.x)
+	for i := range f.innov {
+		f.innov[i] = z[i] - f.hx[i]
+	}
+	// S = H·P·Hᵀ + R.
+	mat.MulTo(f.tmpMN, f.model.H, f.p) // H·P
+	mat.MulTo(f.tmpMM, f.tmpMN, f.ht)  // H·P·Hᵀ
+	s := mat.Add(f.tmpMM, f.model.R)
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	}
+	// K = P·Hᵀ·S⁻¹.
+	mat.MulTo(f.tmpNM, f.p, f.ht)
+	mat.MulTo(f.gain, f.tmpNM, sInv)
+	// x ← x + K·y.
+	ky := mat.MulVec(f.gain, f.innov)
+	for i := range f.x {
+		f.x[i] += ky[i]
+	}
+	// Joseph form: P ← (I−KH)·P·(I−KH)ᵀ + K·R·Kᵀ.
+	n := f.model.StateDim()
+	ikh := mat.Identity(n)
+	kh := mat.Mul(f.gain, f.model.H)
+	mat.SubTo(ikh, ikh, kh)
+	left := mat.Mul3(ikh, f.p, mat.Transpose(ikh))
+	krk := mat.Mul3(f.gain, f.model.R, mat.Transpose(f.gain))
+	mat.AddTo(f.p, left, krk)
+	mat.Symmetrize(f.p)
+	f.updates++
+	return nil
+}
+
+// State returns a copy of the current state estimate.
+func (f *Filter) State() []float64 { return mat.VecClone(f.x) }
+
+// SetState overwrites the state estimate (used for hard resynchronization).
+func (f *Filter) SetState(x []float64) error {
+	if len(x) != f.model.StateDim() {
+		return fmt.Errorf("kalman: state has length %d, want %d", len(x), f.model.StateDim())
+	}
+	copy(f.x, x)
+	return nil
+}
+
+// Covariance returns a copy of the current estimate covariance.
+func (f *Filter) Covariance() *mat.Matrix { return f.p.Clone() }
+
+// SetCovariance overwrites the covariance (used for resynchronization).
+func (f *Filter) SetCovariance(p *mat.Matrix) error {
+	if p.Rows() != f.model.StateDim() || p.Cols() != f.model.StateDim() {
+		return fmt.Errorf("kalman: covariance is %d×%d, want %d×%d",
+			p.Rows(), p.Cols(), f.model.StateDim(), f.model.StateDim())
+	}
+	f.p.CopyFrom(p)
+	return nil
+}
+
+// Observation returns H·x, the filter's estimate of the observable
+// quantity at the current state.
+func (f *Filter) Observation() []float64 {
+	return mat.MulVec(f.model.H, f.x)
+}
+
+// ObservationVariance returns the predictive variance of each observation
+// component: diag(H·P·Hᵀ + R). This is the filter's own uncertainty about
+// the next measurement, the basis for probabilistic answers.
+func (f *Filter) ObservationVariance() []float64 {
+	s := mat.Add(mat.Mul3(f.model.H, f.p, mat.Transpose(f.model.H)), f.model.R)
+	out := make([]float64, f.model.ObsDim())
+	for i := range out {
+		out[i] = s.At(i, i)
+	}
+	return out
+}
+
+// ObservationAfter returns the observation the filter would predict after
+// k further Predict steps, without mutating the filter. k = 0 returns the
+// current observation.
+func (f *Filter) ObservationAfter(k int) []float64 {
+	x := mat.VecClone(f.x)
+	next := make([]float64, len(x))
+	for i := 0; i < k; i++ {
+		mat.MulVecTo(next, f.model.F, x)
+		x, next = next, x
+	}
+	return mat.MulVec(f.model.H, x)
+}
+
+// Innovation returns the pre-update innovation y = z − H·x and its
+// covariance S = H·P·Hᵀ + R for a candidate observation z, without
+// mutating the filter.
+func (f *Filter) Innovation(z []float64) ([]float64, *mat.Matrix, error) {
+	m := f.model.ObsDim()
+	if len(z) != m {
+		return nil, nil, fmt.Errorf("kalman: observation has length %d, want %d", len(z), m)
+	}
+	hx := mat.MulVec(f.model.H, f.x)
+	y := mat.VecSub(z, hx)
+	s := mat.Add(mat.Mul3(f.model.H, f.p, mat.Transpose(f.model.H)), f.model.R)
+	return y, s, nil
+}
+
+// NIS returns the normalized innovation squared yᵀ·S⁻¹·y for observation
+// z. For a consistent filter its long-run average equals the observation
+// dimension m.
+func (f *Filter) NIS(z []float64) (float64, error) {
+	y, s, err := f.Innovation(z)
+	if err != nil {
+		return 0, err
+	}
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return 0, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	}
+	return mat.QuadraticForm(sInv, y), nil
+}
+
+// LogLikelihood returns the Gaussian log-likelihood of observation z under
+// the filter's current predictive distribution. Useful for online model
+// selection between candidate dynamics.
+func (f *Filter) LogLikelihood(z []float64) (float64, error) {
+	y, s, err := f.Innovation(z)
+	if err != nil {
+		return 0, err
+	}
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return 0, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	}
+	det := mat.Det(s)
+	if det <= 0 {
+		return 0, fmt.Errorf("kalman: innovation covariance not positive definite (det=%g)", det)
+	}
+	m := float64(f.model.ObsDim())
+	return -0.5 * (m*math.Log(2*math.Pi) + math.Log(det) + mat.QuadraticForm(sInv, y)), nil
+}
+
+// Ticks returns the number of Predict calls performed.
+func (f *Filter) Ticks() uint64 { return f.ticks }
+
+// Updates returns the number of Update calls performed.
+func (f *Filter) Updates() uint64 { return f.updates }
+
+// Clone returns an independent deep copy of the filter, preserving state,
+// covariance, and counters.
+func (f *Filter) Clone() *Filter {
+	c := MustFilter(f.model, f.x, f.p)
+	c.ticks = f.ticks
+	c.updates = f.updates
+	return c
+}
+
+// SetNoise replaces the process and/or measurement noise covariances.
+// Either argument may be nil to leave the corresponding matrix untouched.
+// Used by the adaptive layer.
+func (f *Filter) SetNoise(q, r *mat.Matrix) error {
+	n, m := f.model.StateDim(), f.model.ObsDim()
+	if q != nil {
+		if q.Rows() != n || q.Cols() != n {
+			return fmt.Errorf("kalman: Q is %d×%d, want %d×%d", q.Rows(), q.Cols(), n, n)
+		}
+		f.model.Q.CopyFrom(q)
+	}
+	if r != nil {
+		if r.Rows() != m || r.Cols() != m {
+			return fmt.Errorf("kalman: R is %d×%d, want %d×%d", r.Rows(), r.Cols(), m, m)
+		}
+		f.model.R.CopyFrom(r)
+	}
+	return nil
+}

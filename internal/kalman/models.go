@@ -1,0 +1,128 @@
+package kalman
+
+import "kalmanstream/internal/mat"
+
+// Canonical process models. Each constructor returns a fully populated,
+// validated Model; q is the process-noise intensity and r the
+// measurement-noise variance. The Q matrices for kinematic models use the
+// discrete white-noise-acceleration form so the noise scales correctly
+// with the tick interval dt.
+
+// RandomWalk returns a one-dimensional random-walk model:
+// position evolves as x_{t+1} = x_t + w, observed directly.
+func RandomWalk(q, r float64) *Model {
+	return &Model{
+		Name: "random-walk",
+		F:    mat.Identity(1),
+		H:    mat.Identity(1),
+		Q:    mat.Diag(q),
+		R:    mat.Diag(r),
+	}
+}
+
+// RandomWalkND returns a dim-dimensional random walk with independent
+// components, each with process variance q and measurement variance r.
+func RandomWalkND(dim int, q, r float64) *Model {
+	qs := make([]float64, dim)
+	rs := make([]float64, dim)
+	for i := range qs {
+		qs[i] = q
+		rs[i] = r
+	}
+	return &Model{
+		Name: "random-walk-nd",
+		F:    mat.Identity(dim),
+		H:    mat.Identity(dim),
+		Q:    mat.Diag(qs...),
+		R:    mat.Diag(rs...),
+	}
+}
+
+// ConstantVelocity returns a one-dimensional constant-velocity model with
+// state [position, velocity], tick interval dt, white-noise acceleration
+// intensity q, and measurement variance r. Only position is observed.
+func ConstantVelocity(dt, q, r float64) *Model {
+	f := mat.FromSlice(2, 2, []float64{
+		1, dt,
+		0, 1,
+	})
+	h := mat.FromSlice(1, 2, []float64{1, 0})
+	qm := discreteWhiteNoise2(dt, q)
+	return &Model{Name: "constant-velocity", F: f, H: h, Q: qm, R: mat.Diag(r)}
+}
+
+// ConstantAcceleration returns a one-dimensional constant-acceleration
+// model with state [position, velocity, acceleration]. Only position is
+// observed.
+func ConstantAcceleration(dt, q, r float64) *Model {
+	f := mat.FromSlice(3, 3, []float64{
+		1, dt, dt * dt / 2,
+		0, 1, dt,
+		0, 0, 1,
+	})
+	h := mat.FromSlice(1, 3, []float64{1, 0, 0})
+	qm := discreteWhiteNoise3(dt, q)
+	return &Model{Name: "constant-acceleration", F: f, H: h, Q: qm, R: mat.Diag(r)}
+}
+
+// ConstantVelocity2D returns a planar constant-velocity model with state
+// [x, y, vx, vy] and observations [x, y] — the moving-object model used
+// for GPS-style streams.
+func ConstantVelocity2D(dt, q, r float64) *Model {
+	f := mat.FromSlice(4, 4, []float64{
+		1, 0, dt, 0,
+		0, 1, 0, dt,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	})
+	h := mat.FromSlice(2, 4, []float64{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+	})
+	// Block-diagonal discrete white-noise acceleration per axis.
+	q2 := discreteWhiteNoise2(dt, q)
+	qm := mat.New(4, 4)
+	// State ordering is [x, y, vx, vy]: per-axis blocks interleave.
+	qm.Set(0, 0, q2.At(0, 0))
+	qm.Set(0, 2, q2.At(0, 1))
+	qm.Set(2, 0, q2.At(1, 0))
+	qm.Set(2, 2, q2.At(1, 1))
+	qm.Set(1, 1, q2.At(0, 0))
+	qm.Set(1, 3, q2.At(0, 1))
+	qm.Set(3, 1, q2.At(1, 0))
+	qm.Set(3, 3, q2.At(1, 1))
+	return &Model{Name: "constant-velocity-2d", F: f, H: h, Q: qm, R: mat.Diag(r, r)}
+}
+
+// discreteWhiteNoise2 returns the 2×2 discrete white-noise-acceleration
+// covariance q·[[dt⁴/4, dt³/2], [dt³/2, dt²]].
+func discreteWhiteNoise2(dt, q float64) *mat.Matrix {
+	return mat.FromSlice(2, 2, []float64{
+		q * dt * dt * dt * dt / 4, q * dt * dt * dt / 2,
+		q * dt * dt * dt / 2, q * dt * dt,
+	})
+}
+
+// discreteWhiteNoise3 returns the 3×3 discrete white-noise-jerk covariance.
+func discreteWhiteNoise3(dt, q float64) *mat.Matrix {
+	d2 := dt * dt
+	d3 := d2 * dt
+	d4 := d3 * dt
+	d5 := d4 * dt
+	d6 := d5 * dt
+	return mat.FromSlice(3, 3, []float64{
+		q * d6 / 36, q * d5 / 12, q * d4 / 6,
+		q * d5 / 12, q * d4 / 4, q * d3 / 2,
+		q * d4 / 6, q * d3 / 2, q * d2,
+	})
+}
+
+// InitialCovariance returns a diagonal covariance suitable for an
+// uninformed prior: variance v on every state component.
+func InitialCovariance(dim int, v float64) *mat.Matrix {
+	vs := make([]float64, dim)
+	for i := range vs {
+		vs[i] = v
+	}
+	return mat.Diag(vs...)
+}

@@ -1,0 +1,84 @@
+package kalman
+
+import (
+	"fmt"
+
+	"kalmanstream/internal/mat"
+)
+
+// SmoothedEstimate is one step of a fixed-interval smoothing pass.
+type SmoothedEstimate struct {
+	// X is the smoothed state estimate.
+	X []float64
+	// P is the smoothed covariance.
+	P *mat.Matrix
+}
+
+// Observation returns H·X under the given model.
+func (s SmoothedEstimate) Observation(m *Model) []float64 {
+	return mat.MulVec(m.H, s.X)
+}
+
+// SmoothSeries runs a Rauch–Tung–Striebel fixed-interval smoother over an
+// observation sequence: a forward Kalman pass followed by the backward
+// recursion
+//
+//	C_t = P⁺_t·Fᵀ·(P⁻_{t+1})⁻¹
+//	x̂_t = x⁺_t + C_t·(x̂_{t+1} − x⁻_{t+1})
+//	P̂_t = P⁺_t + C_t·(P̂_{t+1} − P⁻_{t+1})·C_tᵀ
+//
+// observations[i] may be nil for steps with no measurement (a suppressed
+// tick in an archived protocol trace); the filter coasts through them and
+// the smoother still back-propagates information across the gap. This is
+// the offline companion to the answer history: re-analysis of archived
+// corrections yields strictly better retrospective estimates than the
+// causal filter could provide live.
+func SmoothSeries(model *Model, x0 []float64, p0 *mat.Matrix, observations [][]float64) ([]SmoothedEstimate, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(observations)
+	if n == 0 {
+		return nil, fmt.Errorf("kalman: SmoothSeries needs at least one step")
+	}
+	f, err := NewFilter(model, x0, p0)
+	if err != nil {
+		return nil, err
+	}
+
+	priorX := make([][]float64, n)
+	priorP := make([]*mat.Matrix, n)
+	postX := make([][]float64, n)
+	postP := make([]*mat.Matrix, n)
+
+	for t := 0; t < n; t++ {
+		f.Predict()
+		priorX[t] = f.State()
+		priorP[t] = f.Covariance()
+		if observations[t] != nil {
+			if err := f.Update(observations[t]); err != nil {
+				return nil, fmt.Errorf("kalman: forward pass step %d: %w", t, err)
+			}
+		}
+		postX[t] = f.State()
+		postP[t] = f.Covariance()
+	}
+
+	out := make([]SmoothedEstimate, n)
+	out[n-1] = SmoothedEstimate{X: postX[n-1], P: postP[n-1]}
+	ft := mat.Transpose(model.F)
+	for t := n - 2; t >= 0; t-- {
+		priorInv, err := mat.Inverse(priorP[t+1])
+		if err != nil {
+			return nil, fmt.Errorf("kalman: backward pass step %d: %w", t, err)
+		}
+		c := mat.Mul3(postP[t], ft, priorInv)
+		dx := mat.VecSub(out[t+1].X, priorX[t+1])
+		x := mat.VecAdd(postX[t], mat.MulVec(c, dx))
+		dp := mat.Sub(out[t+1].P, priorP[t+1])
+		p := mat.Add(postP[t], mat.Mul3(c, dp, mat.Transpose(c)))
+		mat.Symmetrize(p)
+		out[t] = SmoothedEstimate{X: x, P: p}
+	}
+	return out, nil
+}

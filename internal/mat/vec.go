@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector helpers. Vectors are plain []float64 throughout the repository;
+// these functions keep the call sites terse and panic on length mismatch,
+// mirroring the Matrix conventions.
+
+// VecAdd returns a + b element-wise.
+func VecAdd(a, b []float64) []float64 {
+	checkVecLens("VecAdd", a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// VecSub returns a − b element-wise.
+func VecSub(a, b []float64) []float64 {
+	checkVecLens("VecSub", a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// VecScale returns s·a.
+func VecScale(s float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = s * a[i]
+	}
+	return out
+}
+
+// VecDot returns the inner product of a and b.
+func VecDot(a, b []float64) float64 {
+	checkVecLens("VecDot", a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// VecNorm returns the Euclidean (L2) norm of a.
+func VecNorm(a []float64) float64 {
+	return math.Sqrt(VecDot(a, a))
+}
+
+// VecNormInf returns the maximum absolute element (L∞ norm).
+func VecNormInf(a []float64) float64 {
+	var m float64
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// VecClone returns a copy of a.
+func VecClone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// VecEqualApprox reports whether a and b have equal length and every
+// element pair differs by at most tol.
+func VecEqualApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// VecIsFinite reports whether every element is neither NaN nor ±Inf.
+func VecIsFinite(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Outer returns the outer product a·bᵀ as a len(a)×len(b) matrix.
+func Outer(a, b []float64) *Matrix {
+	m := New(len(a), len(b))
+	for i, av := range a {
+		for j, bv := range b {
+			m.Set(i, j, av*bv)
+		}
+	}
+	return m
+}
+
+func checkVecLens(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: %s length mismatch %d vs %d", op, len(a), len(b)))
+	}
+}

@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the message decoder: it must never
+// panic, and anything it accepts must re-encode to the same bytes
+// (canonical encoding).
+func FuzzDecode(f *testing.F) {
+	seed := []*Message{
+		{Kind: KindCorrection, StreamID: "s", Tick: 1, Value: []float64{1.5}},
+		{Kind: KindHeartbeat, StreamID: "hb", Tick: -3},
+		{Kind: KindDeltaUpdate, StreamID: "d", Tick: 0, Value: []float64{0.25}},
+		{Kind: KindResync, StreamID: "r", Tick: 7, Value: []float64{1, 2, 3, 4}},
+	}
+	for _, m := range seed {
+		buf, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical encoding: % x -> % x", data, out)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package netsim provides the simulated network substrate the experiment
+// harness measures: typed messages with an exact binary wire encoding,
+// links that count messages and bytes, and optional latency and loss
+// injection for fault-tolerance testing.
+//
+// The paper's headline metric is communication overhead — the number of
+// messages (and bytes) a source must send to keep the server's answers
+// within precision bounds. The simulator counts those exactly; the TCP
+// demo in internal/wire shows the same messages crossing a real socket.
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MessageKind discriminates protocol messages.
+type MessageKind uint8
+
+// Message kinds.
+const (
+	// KindCorrection carries a measurement that both replicas must
+	// incorporate.
+	KindCorrection MessageKind = iota + 1
+	// KindHeartbeat tells the server the source is alive without
+	// carrying a correction (sent after long silences).
+	KindHeartbeat
+	// KindDeltaUpdate tells the source's replica manager to change the
+	// precision bound (server → source, used by the budget allocator).
+	KindDeltaUpdate
+	// KindResync carries the measurement followed by a full predictor
+	// snapshot, hard-resynchronizing the server replica after possible
+	// message loss.
+	KindResync
+)
+
+func (k MessageKind) String() string {
+	switch k {
+	case KindCorrection:
+		return "correction"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindDeltaUpdate:
+		return "delta-update"
+	case KindResync:
+		return "resync"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(k))
+	}
+}
+
+// Message is one unit of communication between a source and the server.
+type Message struct {
+	Kind     MessageKind
+	StreamID string
+	Tick     int64
+	// Value carries the measurement for corrections, or the new δ (one
+	// element) for delta updates.
+	Value []float64
+}
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func (m *Message) EncodedSize() int {
+	// kind(1) + idLen(2) + id + tick(8) + valLen(2) + 8·len(Value)
+	return 1 + 2 + len(m.StreamID) + 8 + 2 + 8*len(m.Value)
+}
+
+// Encode serializes the message to a compact binary form.
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.StreamID) > math.MaxUint16 {
+		return nil, fmt.Errorf("netsim: stream id too long (%d bytes)", len(m.StreamID))
+	}
+	if len(m.Value) > math.MaxUint16 {
+		return nil, fmt.Errorf("netsim: value too long (%d elements)", len(m.Value))
+	}
+	buf := make([]byte, 0, m.EncodedSize())
+	buf = append(buf, byte(m.Kind))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.StreamID)))
+	buf = append(buf, m.StreamID...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Tick))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Value)))
+	for _, v := range m.Value {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// Decode parses a message produced by Encode.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("netsim: message truncated (%d bytes)", len(buf))
+	}
+	m := &Message{Kind: MessageKind(buf[0])}
+	switch m.Kind {
+	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync:
+	default:
+		return nil, fmt.Errorf("netsim: unknown message kind %d", buf[0])
+	}
+	idLen := int(binary.BigEndian.Uint16(buf[1:3]))
+	rest := buf[3:]
+	if len(rest) < idLen+8+2 {
+		return nil, fmt.Errorf("netsim: message truncated after header")
+	}
+	m.StreamID = string(rest[:idLen])
+	rest = rest[idLen:]
+	m.Tick = int64(binary.BigEndian.Uint64(rest[:8]))
+	valLen := int(binary.BigEndian.Uint16(rest[8:10]))
+	rest = rest[10:]
+	if len(rest) != 8*valLen {
+		return nil, fmt.Errorf("netsim: message has %d value bytes, want %d", len(rest), 8*valLen)
+	}
+	if valLen > 0 {
+		m.Value = make([]float64, valLen)
+		for i := range m.Value {
+			m.Value[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
+		}
+	}
+	return m, nil
+}
+
+// Stats accumulates traffic counters for one link direction.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	Dropped  int64
+	// ByKind counts delivered messages per kind.
+	ByKind map[MessageKind]int64
+}
+
+func (s *Stats) count(m *Message, delivered bool) {
+	if !delivered {
+		s.Dropped++
+		return
+	}
+	s.Messages++
+	s.Bytes += int64(m.EncodedSize())
+	if s.ByKind == nil {
+		s.ByKind = make(map[MessageKind]int64)
+	}
+	s.ByKind[m.Kind]++
+}
+
+// LinkConfig sets optional impairments on a link.
+type LinkConfig struct {
+	// DelayTicks delays every delivery by this many calls to Tick.
+	DelayTicks int
+	// DropProb drops each message independently with this probability.
+	DropProb float64
+	// Seed seeds the drop RNG; ignored when DropProb is zero.
+	Seed int64
+}
+
+// Link is a unidirectional channel that counts all traffic and delivers
+// messages to a receiver callback, optionally after a delay and with
+// probabilistic loss. Links are not safe for concurrent use; the
+// simulation harness is single-threaded by design so runs replay exactly.
+type Link struct {
+	recv   func(*Message)
+	cfg    LinkConfig
+	rng    *rand.Rand
+	queue  []queued
+	nowLag int
+	stats  Stats
+}
+
+type queued struct {
+	deliverAt int
+	msg       *Message
+}
+
+// NewLink returns a link delivering to recv with the given impairments.
+func NewLink(recv func(*Message), cfg LinkConfig) *Link {
+	l := &Link{recv: recv, cfg: cfg}
+	if cfg.DropProb > 0 {
+		l.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return l
+}
+
+// Send transmits m across the link. With no impairments the delivery is
+// synchronous.
+func (l *Link) Send(m *Message) {
+	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
+		l.stats.count(m, false)
+		return
+	}
+	l.stats.count(m, true)
+	if l.cfg.DelayTicks <= 0 {
+		l.recv(m)
+		return
+	}
+	l.queue = append(l.queue, queued{deliverAt: l.nowLag + l.cfg.DelayTicks, msg: m})
+}
+
+// Tick advances simulated time by one step, delivering matured messages
+// in send order.
+func (l *Link) Tick() {
+	l.nowLag++
+	n := 0
+	for _, q := range l.queue {
+		if q.deliverAt <= l.nowLag {
+			l.recv(q.msg)
+		} else {
+			l.queue[n] = q
+			n++
+		}
+	}
+	l.queue = l.queue[:n]
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (l *Link) Stats() Stats {
+	out := l.stats
+	if l.stats.ByKind != nil {
+		out.ByKind = make(map[MessageKind]int64, len(l.stats.ByKind))
+		for k, v := range l.stats.ByKind {
+			out.ByKind[k] = v
+		}
+	}
+	return out
+}
+
+// Pending returns the number of in-flight (delayed, undelivered) messages.
+func (l *Link) Pending() int { return len(l.queue) }

@@ -1,0 +1,146 @@
+package predictor
+
+import (
+	"fmt"
+
+	"kalmanstream/internal/kalman"
+	"kalmanstream/internal/mat"
+)
+
+// Snapshot implementations. Snapshots are flat float64 vectors so they
+// travel in an ordinary protocol message; each predictor defines its own
+// layout and validates the length on Restore.
+
+// Snapshot implements Snapshotter: [last...].
+func (s *Static) Snapshot() []float64 { return mat.VecClone(s.last) }
+
+// Restore implements Snapshotter.
+func (s *Static) Restore(state []float64) error {
+	if len(state) != s.dim {
+		return fmt.Errorf("predictor: static snapshot has %d values, want %d", len(state), s.dim)
+	}
+	copy(s.last, state)
+	return nil
+}
+
+// Snapshot implements Snapshotter:
+// [have, sinceTicks, last..., slope...].
+func (d *DeadReckoning) Snapshot() []float64 {
+	out := make([]float64, 0, 2+2*d.dim)
+	out = append(out, float64(d.have), float64(d.sinceTicks))
+	out = append(out, d.last...)
+	out = append(out, d.slope...)
+	return out
+}
+
+// Restore implements Snapshotter.
+func (d *DeadReckoning) Restore(state []float64) error {
+	if len(state) != 2+2*d.dim {
+		return fmt.Errorf("predictor: dead-reckoning snapshot has %d values, want %d", len(state), 2+2*d.dim)
+	}
+	d.have = int(state[0])
+	d.sinceTicks = int64(state[1])
+	copy(d.last, state[2:2+d.dim])
+	copy(d.slope, state[2+d.dim:])
+	return nil
+}
+
+// Snapshot implements Snapshotter: [primed, level...].
+func (e *EWMA) Snapshot() []float64 {
+	out := make([]float64, 0, 1+e.dim)
+	if e.primed {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return append(out, e.level...)
+}
+
+// Restore implements Snapshotter.
+func (e *EWMA) Restore(state []float64) error {
+	if len(state) != 1+e.dim {
+		return fmt.Errorf("predictor: ewma snapshot has %d values, want %d", len(state), 1+e.dim)
+	}
+	e.primed = state[0] != 0
+	copy(e.level, state[1:])
+	return nil
+}
+
+// filterSnapshotLen returns the snapshot length for an n-state filter:
+// state vector plus row-major covariance.
+func filterSnapshotLen(n int) int { return n + n*n }
+
+func snapshotFilter(f *kalman.Filter) []float64 {
+	x := f.State()
+	p := f.Covariance()
+	out := make([]float64, 0, filterSnapshotLen(len(x)))
+	out = append(out, x...)
+	return append(out, p.Raw()...)
+}
+
+func restoreFilter(f *kalman.Filter, state []float64) error {
+	n := len(f.State())
+	if len(state) != filterSnapshotLen(n) {
+		return fmt.Errorf("predictor: filter snapshot has %d values, want %d", len(state), filterSnapshotLen(n))
+	}
+	if err := f.SetState(state[:n]); err != nil {
+		return err
+	}
+	return f.SetCovariance(mat.FromSlice(n, n, state[n:]))
+}
+
+// Snapshot implements Snapshotter: [x..., P (row-major)...] for plain
+// filters; adaptive filters additionally carry their noise matrices and
+// innovation window (see kalman.Adaptive.Snapshot), so a restored replica
+// adapts identically from then on.
+func (k *Kalman) Snapshot() []float64 {
+	if k.adaptive != nil {
+		return k.adaptive.Snapshot()
+	}
+	return snapshotFilter(k.filter)
+}
+
+// Restore implements Snapshotter.
+func (k *Kalman) Restore(state []float64) error {
+	if k.adaptive != nil {
+		return k.adaptive.Restore(state)
+	}
+	return restoreFilter(k.filter, state)
+}
+
+// Snapshot implements Snapshotter:
+// [weights..., then per model: x..., P...].
+func (k *KalmanBank) Snapshot() []float64 {
+	bank := k.bank
+	out := append([]float64(nil), bank.Weights()...)
+	for i := 0; i < bank.Size(); i++ {
+		out = append(out, snapshotFilter(bank.FilterAt(i))...)
+	}
+	return out
+}
+
+// Restore implements Snapshotter.
+func (k *KalmanBank) Restore(state []float64) error {
+	bank := k.bank
+	size := bank.Size()
+	want := size
+	for i := 0; i < size; i++ {
+		want += filterSnapshotLen(len(bank.FilterAt(i).State()))
+	}
+	if len(state) != want {
+		return fmt.Errorf("predictor: bank snapshot has %d values, want %d", len(state), want)
+	}
+	if err := bank.SetWeights(state[:size]); err != nil {
+		return err
+	}
+	off := size
+	for i := 0; i < size; i++ {
+		f := bank.FilterAt(i)
+		n := filterSnapshotLen(len(f.State()))
+		if err := restoreFilter(f, state[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}

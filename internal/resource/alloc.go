@@ -1,0 +1,232 @@
+// Package resource implements the precision–resource tradeoff's second
+// direction: given a global communication budget (messages per tick across
+// all streams), adaptively set each stream's precision bound δᵢ to spend
+// the budget where it buys the most precision.
+//
+// The key empirical regularity the allocators exploit: for a stream with
+// per-tick movement scale σᵢ gated at bound δᵢ, the correction rate
+// behaves like rᵢ ≈ cᵢ/δᵢ² (threshold-crossing of a diffusion), where cᵢ
+// captures the stream's residual unpredictability under its predictor.
+// Each allocator estimates cᵢ online from the observed (rate, δ) pairs —
+// no access to raw measurements is needed, so allocation runs entirely at
+// the server.
+//
+// Allocators:
+//
+//   - Uniform      — one δ shared by all streams, sized to the budget.
+//   - FairShare    — every stream gets an equal slice of the message
+//     budget; δᵢ = √(n·cᵢ/B).
+//   - WaterFilling — minimizes Σ wᵢδᵢ subject to the budget; Lagrangian
+//     optimum δᵢ ∝ (cᵢ/wᵢ)^⅓.
+//   - AIMD         — decentralized feedback: multiplicative increase of
+//     δᵢ when a stream overspends its share, gentle decrease otherwise.
+package resource
+
+import (
+	"fmt"
+	"math"
+)
+
+// StreamWindow summarizes one stream's behaviour over the last allocation
+// period — everything an allocator is allowed to see.
+type StreamWindow struct {
+	ID    string
+	Delta float64 // δ in force during the window
+	Msgs  int64   // corrections sent during the window
+	Ticks int64   // window length
+	// Weight expresses relative importance; higher weight ⇒ tighter δ
+	// under WaterFilling. Must be positive.
+	Weight float64
+	// MinDelta and MaxDelta clamp the allocation.
+	MinDelta, MaxDelta float64
+	// CostEstimate is the smoothed cᵢ carried between rounds (maintained
+	// by the Coordinator; allocators treat it as the current estimate).
+	CostEstimate float64
+}
+
+// rate returns the observed messages per tick.
+func (w StreamWindow) rate() float64 {
+	if w.Ticks == 0 {
+		return 0
+	}
+	return float64(w.Msgs) / float64(w.Ticks)
+}
+
+func (w StreamWindow) clamp(delta float64) float64 {
+	if w.MinDelta > 0 && delta < w.MinDelta {
+		delta = w.MinDelta
+	}
+	if w.MaxDelta > 0 && delta > w.MaxDelta {
+		delta = w.MaxDelta
+	}
+	return delta
+}
+
+// Allocator computes new per-stream precision bounds from window
+// statistics and a total budget (messages per tick, summed over streams).
+type Allocator interface {
+	Name() string
+	Allocate(windows []StreamWindow, budgetPerTick float64) []float64
+}
+
+// EstimateCost updates a smoothed estimate of cᵢ = rateᵢ·δᵢ² from one
+// window. A floor of half a message per window keeps streams that sent
+// nothing (fully predictable right now) from collapsing to c=0 and being
+// granted δ→0, which would blow the budget the moment they wake up.
+func EstimateCost(prev float64, w StreamWindow, smoothing float64) float64 {
+	if w.Ticks == 0 || w.Delta <= 0 {
+		return prev
+	}
+	rate := w.rate()
+	minRate := 0.5 / float64(w.Ticks)
+	if rate < minRate {
+		rate = minRate
+	}
+	sample := rate * w.Delta * w.Delta
+	if prev <= 0 {
+		return sample
+	}
+	return smoothing*sample + (1-smoothing)*prev
+}
+
+// Uniform assigns the single δ that, under the rᵢ = cᵢ/δ² model, makes
+// the total rate meet the budget: δ = √(Σcᵢ/B).
+type Uniform struct{}
+
+// Name implements Allocator.
+func (Uniform) Name() string { return "uniform" }
+
+// Allocate implements Allocator.
+func (Uniform) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	out := make([]float64, len(windows))
+	if len(windows) == 0 || budgetPerTick <= 0 {
+		return out
+	}
+	var totalC float64
+	for _, w := range windows {
+		totalC += w.CostEstimate
+	}
+	delta := math.Sqrt(totalC / budgetPerTick)
+	for i, w := range windows {
+		out[i] = w.clamp(delta)
+	}
+	return out
+}
+
+// FairShare gives each stream an equal message allowance B/n and sizes
+// δᵢ to it: δᵢ = √(n·cᵢ/B). Volatile streams get loose bounds; calm
+// streams get tight ones.
+type FairShare struct{}
+
+// Name implements Allocator.
+func (FairShare) Name() string { return "fair-share" }
+
+// Allocate implements Allocator.
+func (FairShare) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	out := make([]float64, len(windows))
+	if len(windows) == 0 || budgetPerTick <= 0 {
+		return out
+	}
+	share := budgetPerTick / float64(len(windows))
+	for i, w := range windows {
+		out[i] = w.clamp(math.Sqrt(w.CostEstimate / share))
+	}
+	return out
+}
+
+// WaterFilling minimizes the weighted precision loss Σ wᵢδᵢ subject to
+// Σ cᵢ/δᵢ² ≤ B. The stationarity condition gives δᵢ = s·(cᵢ/wᵢ)^⅓ with
+// the scale s chosen to exhaust the budget.
+type WaterFilling struct{}
+
+// Name implements Allocator.
+func (WaterFilling) Name() string { return "water-filling" }
+
+// Allocate implements Allocator.
+func (WaterFilling) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	out := make([]float64, len(windows))
+	if len(windows) == 0 || budgetPerTick <= 0 {
+		return out
+	}
+	// Σ cᵢ/(s²(cᵢ/wᵢ)^⅔) = B  ⇒  s = √(Σ cᵢ^⅓·wᵢ^⅔ / B).
+	var acc float64
+	for _, w := range windows {
+		weight := w.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		acc += math.Cbrt(w.CostEstimate) * math.Pow(weight, 2.0/3.0)
+	}
+	s := math.Sqrt(acc / budgetPerTick)
+	for i, w := range windows {
+		weight := w.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		out[i] = w.clamp(s * math.Cbrt(w.CostEstimate/weight))
+	}
+	return out
+}
+
+// AIMD adjusts each stream independently: multiplicative increase of δ
+// (backing off precision) when the stream exceeded its fair share of the
+// budget, additive-flavoured gentle decrease when it underspent. Requires
+// no cost model at all, converges more slowly, and serves as the
+// decentralized baseline.
+type AIMD struct {
+	// Increase is the multiplicative δ growth factor on overspend
+	// (default 1.5).
+	Increase float64
+	// Decrease is the multiplicative δ shrink factor on underspend
+	// (default 0.95).
+	Decrease float64
+}
+
+// Name implements Allocator.
+func (AIMD) Name() string { return "aimd" }
+
+// Allocate implements Allocator.
+func (a AIMD) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	inc := a.Increase
+	if inc <= 1 {
+		inc = 1.5
+	}
+	dec := a.Decrease
+	if dec <= 0 || dec >= 1 {
+		dec = 0.95
+	}
+	out := make([]float64, len(windows))
+	if len(windows) == 0 || budgetPerTick <= 0 {
+		return out
+	}
+	share := budgetPerTick / float64(len(windows))
+	for i, w := range windows {
+		delta := w.Delta
+		if delta <= 0 {
+			delta = math.SmallestNonzeroFloat64
+		}
+		if w.rate() > share {
+			delta *= inc
+		} else {
+			delta *= dec
+		}
+		out[i] = w.clamp(delta)
+	}
+	return out
+}
+
+// ByName returns the allocator with the given name.
+func ByName(name string) (Allocator, error) {
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "fair-share":
+		return FairShare{}, nil
+	case "water-filling":
+		return WaterFilling{}, nil
+	case "aimd":
+		return AIMD{}, nil
+	default:
+		return nil, fmt.Errorf("resource: unknown allocator %q", name)
+	}
+}

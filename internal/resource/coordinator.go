@@ -1,0 +1,172 @@
+package resource
+
+import (
+	"fmt"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/server"
+	"kalmanstream/internal/source"
+)
+
+// ManagedOptions configures one stream under budget management.
+type ManagedOptions struct {
+	// Weight expresses the stream's importance (default 1).
+	Weight float64
+	// MinDelta and MaxDelta clamp allocations (0 = unclamped).
+	MinDelta, MaxDelta float64
+}
+
+type managed struct {
+	src      *source.Source
+	opts     ManagedOptions
+	lastSent int64
+	cost     float64
+}
+
+// Coordinator periodically gathers per-stream traffic statistics, invokes
+// an Allocator, and pushes the resulting δ changes to both endpoints.
+// Delta updates are themselves messages (server → source); the coordinator
+// sends them through the provided downlink so their cost is accounted.
+type Coordinator struct {
+	alloc         Allocator
+	srv           *server.Server
+	budgetPerTick float64
+	period        int64
+	smoothing     float64
+	downlink      func(*netsim.Message)
+	streams       []*managed
+	tick          int64
+	rounds        int64
+}
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// BudgetPerTick is the total correction budget across all managed
+	// streams, in messages per tick.
+	BudgetPerTick float64
+	// Period is the reallocation interval in ticks (default 200).
+	Period int64
+	// Smoothing is the EMA factor for cost estimates in (0, 1]
+	// (default 0.4).
+	Smoothing float64
+	// Downlink transmits delta-update messages to sources; nil means
+	// apply silently (still correct, but the reverse-path traffic goes
+	// unaccounted).
+	Downlink func(*netsim.Message)
+}
+
+// NewCoordinator returns a coordinator using alloc over srv.
+func NewCoordinator(alloc Allocator, srv *server.Server, cfg CoordinatorConfig) (*Coordinator, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("resource: nil allocator")
+	}
+	if srv == nil {
+		return nil, fmt.Errorf("resource: nil server")
+	}
+	if cfg.BudgetPerTick <= 0 {
+		return nil, fmt.Errorf("resource: budget %g must be positive", cfg.BudgetPerTick)
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 200
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		cfg.Smoothing = 0.4
+	}
+	return &Coordinator{
+		alloc:         alloc,
+		srv:           srv,
+		budgetPerTick: cfg.BudgetPerTick,
+		period:        cfg.Period,
+		smoothing:     cfg.Smoothing,
+		downlink:      cfg.Downlink,
+	}, nil
+}
+
+// Manage places a source under budget management. The stream must already
+// be registered at the server.
+func (c *Coordinator) Manage(src *source.Source, opts ManagedOptions) error {
+	if src == nil {
+		return fmt.Errorf("resource: nil source")
+	}
+	if _, err := c.srv.Delta(src.StreamID()); err != nil {
+		return fmt.Errorf("resource: %s not registered at server: %w", src.StreamID(), err)
+	}
+	if opts.Weight == 0 {
+		opts.Weight = 1
+	}
+	if opts.Weight < 0 {
+		return fmt.Errorf("resource: negative weight for %s", src.StreamID())
+	}
+	c.streams = append(c.streams, &managed{src: src, opts: opts, lastSent: src.Stats().Sent})
+	return nil
+}
+
+// Rounds returns the number of reallocations performed.
+func (c *Coordinator) Rounds() int64 { return c.rounds }
+
+// Tick advances the coordinator's clock; on period boundaries it
+// reallocates. Call once per global tick, after sources observed.
+func (c *Coordinator) Tick() error {
+	c.tick++
+	if c.tick%c.period != 0 || len(c.streams) == 0 {
+		return nil
+	}
+	return c.reallocate()
+}
+
+func (c *Coordinator) reallocate() error {
+	windows := make([]StreamWindow, len(c.streams))
+	for i, m := range c.streams {
+		sent := m.src.Stats().Sent
+		w := StreamWindow{
+			ID:       m.src.StreamID(),
+			Delta:    m.src.Delta(),
+			Msgs:     sent - m.lastSent,
+			Ticks:    c.period,
+			Weight:   m.opts.Weight,
+			MinDelta: m.opts.MinDelta,
+			MaxDelta: m.opts.MaxDelta,
+		}
+		m.lastSent = sent
+		m.cost = EstimateCost(m.cost, w, c.smoothing)
+		w.CostEstimate = m.cost
+		windows[i] = w
+	}
+	deltas := c.alloc.Allocate(windows, c.budgetPerTick)
+	if len(deltas) != len(windows) {
+		return fmt.Errorf("resource: allocator %s returned %d deltas for %d streams",
+			c.alloc.Name(), len(deltas), len(windows))
+	}
+	for i, m := range c.streams {
+		newDelta := deltas[i]
+		if newDelta <= 0 || newDelta == m.src.Delta() {
+			continue
+		}
+		if err := m.src.SetDelta(newDelta); err != nil {
+			return err
+		}
+		if err := c.srv.SetDelta(m.src.StreamID(), newDelta); err != nil {
+			return err
+		}
+		if c.downlink != nil {
+			c.downlink(&netsim.Message{
+				Kind:     netsim.KindDeltaUpdate,
+				StreamID: m.src.StreamID(),
+				Tick:     c.tick,
+				Value:    []float64{newDelta},
+			})
+		}
+	}
+	c.rounds++
+	return nil
+}
+
+// Deltas returns the current δ of every managed stream, in management
+// order.
+func (c *Coordinator) Deltas() []float64 {
+	out := make([]float64, len(c.streams))
+	for i, m := range c.streams {
+		out[i] = m.src.Delta()
+	}
+	return out
+}

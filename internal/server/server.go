@@ -1,0 +1,295 @@
+// Package server implements the server half of the dual-predictor
+// protocol: a registry of predictor replicas, one per stream, that answers
+// point-in-time value queries with hard precision bounds while receiving
+// only the corrections the sources' gates let through.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/source"
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrUnknownStream reports an operation on an unregistered stream.
+	ErrUnknownStream = errors.New("unknown stream")
+	// ErrHistoryDisabled reports a historical query on a stream without
+	// history enabled.
+	ErrHistoryDisabled = errors.New("history not enabled")
+	// ErrHistoryMiss reports a historical query for a tick that is not
+	// retained (evicted or not yet settled).
+	ErrHistoryMiss = errors.New("tick not retained in history")
+)
+
+// StreamInfo is a diagnostic snapshot of one registered stream.
+type StreamInfo struct {
+	ID    string
+	Delta float64
+	// Norm is the deviation norm the stream's gate uses; it defines what
+	// the δ bound means geometrically.
+	Norm source.Norm
+	// Tick is the server's clock for this stream (number of Tick calls).
+	Tick int64
+	// LastCorrectionTick is the tick of the most recent correction, or
+	// -1 before the first.
+	LastCorrectionTick int64
+	// Corrections is the number of corrections applied.
+	Corrections int64
+	// Staleness is Tick − LastCorrectionTick.
+	Staleness int64
+	// Prediction is the replica's current estimate.
+	Prediction []float64
+}
+
+type streamState struct {
+	id          string
+	replica     predictor.Predictor
+	delta       float64
+	norm        source.Norm
+	tick        int64
+	lastCorr    int64
+	corrections int64
+	// lastValue holds the most recent correction's measurement and
+	// lastValueTick the server tick at which it arrived. On that tick the
+	// server answers with the measurement itself (error bound 0), since a
+	// stateful replica's post-update estimate need not coincide with the
+	// measurement; on later ticks the replica's prediction takes over
+	// with the δ bound.
+	lastValue     []float64
+	lastValueTick int64
+	// history, when non-nil, archives settled per-tick answers.
+	history *history
+}
+
+// Server hosts predictor replicas for any number of streams.
+type Server struct {
+	streams map[string]*streamState
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{streams: make(map[string]*streamState)}
+}
+
+// Register creates the server-side replica for a stream. The spec and the
+// initial δ must match the source's; in the wire protocol they are carried
+// by the registration payload, so mismatch is impossible by construction.
+func (s *Server) Register(id string, spec predictor.Spec, delta float64) error {
+	if id == "" {
+		return fmt.Errorf("server: empty stream id")
+	}
+	if delta < 0 {
+		return fmt.Errorf("server: negative delta %g for %s", delta, id)
+	}
+	if _, ok := s.streams[id]; ok {
+		return fmt.Errorf("server: stream %q already registered", id)
+	}
+	replica, err := spec.Build()
+	if err != nil {
+		return fmt.Errorf("server: building replica for %s: %w", id, err)
+	}
+	s.streams[id] = &streamState{id: id, replica: replica, delta: delta, lastCorr: -1, lastValueTick: -1}
+	return nil
+}
+
+// Unregister removes a stream.
+func (s *Server) Unregister(id string) error {
+	if _, ok := s.streams[id]; !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	delete(s.streams, id)
+	return nil
+}
+
+// Tick advances every replica by one time step. The harness calls this
+// once per global tick, before delivering that tick's messages.
+func (s *Server) Tick() {
+	for _, st := range s.streams {
+		st.archive()
+		st.replica.Step()
+		st.tick++
+	}
+}
+
+// TickStream advances a single stream's replica (for sources on
+// independent clocks).
+func (s *Server) TickStream(id string) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	st.archive()
+	st.replica.Step()
+	st.tick++
+	return nil
+}
+
+// Apply ingests a protocol message (normally a correction).
+func (s *Server) Apply(m *netsim.Message) error {
+	st, ok := s.streams[m.StreamID]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, m.StreamID)
+	}
+	switch m.Kind {
+	case netsim.KindCorrection:
+		if err := st.replica.Correct(m.Value); err != nil {
+			return fmt.Errorf("server: correcting %s: %w", m.StreamID, err)
+		}
+		st.lastCorr = m.Tick
+		st.corrections++
+		if st.lastValue == nil {
+			st.lastValue = make([]float64, len(m.Value))
+		}
+		copy(st.lastValue, m.Value)
+		st.lastValueTick = st.tick
+		return nil
+	case netsim.KindResync:
+		dim := st.replica.Dim()
+		if len(m.Value) < dim {
+			return fmt.Errorf("server: resync for %s has %d values, want ≥ %d", m.StreamID, len(m.Value), dim)
+		}
+		snap, ok := st.replica.(predictor.Snapshotter)
+		if !ok {
+			return fmt.Errorf("server: %s predictor (%s) cannot restore snapshots", m.StreamID, st.replica.Name())
+		}
+		if err := snap.Restore(m.Value[dim:]); err != nil {
+			return fmt.Errorf("server: restoring %s: %w", m.StreamID, err)
+		}
+		st.lastCorr = m.Tick
+		st.corrections++
+		if st.lastValue == nil {
+			st.lastValue = make([]float64, dim)
+		}
+		copy(st.lastValue, m.Value[:dim])
+		st.lastValueTick = st.tick
+		return nil
+	case netsim.KindHeartbeat:
+		st.lastCorr = m.Tick
+		return nil
+	default:
+		return fmt.Errorf("server: unexpected message kind %s", m.Kind)
+	}
+}
+
+// Value answers a point query: the current estimate for the stream and
+// the absolute error bound the suppression protocol guarantees on it. On
+// a tick where a correction arrived the answer is the shipped measurement
+// itself with bound 0 (the server knows the exact value); on suppressed
+// ticks the answer is the replica's prediction with the stream's δ bound.
+func (s *Server) Value(id string) (estimate []float64, bound float64, err error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	if st.lastValueTick == st.tick && st.lastValue != nil {
+		out := make([]float64, len(st.lastValue))
+		copy(out, st.lastValue)
+		return out, 0, nil
+	}
+	return st.replica.Predict(), st.delta, nil
+}
+
+// ValueDistribution answers a probabilistic point query: the current
+// estimate together with the replica's own predictive standard deviation
+// per component. Unlike the δ bound — a hard worst-case guarantee — the
+// distribution supports confidence intervals ("95% interval"), at the
+// price of being a model statement rather than a promise. Only predictors
+// implementing predictor.Uncertainty (the Kalman family) support it.
+func (s *Server) ValueDistribution(id string) (estimate, stddev []float64, err error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	u, ok := st.replica.(predictor.Uncertainty)
+	if !ok {
+		return nil, nil, fmt.Errorf("server: stream %q predictor (%s) has no predictive distribution",
+			id, st.replica.Name())
+	}
+	variance := u.PredictVariance()
+	stddev = make([]float64, len(variance))
+	for i, v := range variance {
+		stddev[i] = math.Sqrt(v)
+	}
+	return st.replica.Predict(), stddev, nil
+}
+
+// SetNorm records the deviation norm the stream's gate uses. The norm
+// determines the geometry of the δ bound (per-component box for NormInf,
+// Euclidean ball for NormL2), which spatial queries must respect.
+func (s *Server) SetNorm(id string, norm source.Norm) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	st.norm = norm
+	return nil
+}
+
+// Norm returns the stream's gate norm.
+func (s *Server) Norm(id string) (source.Norm, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	return st.norm, nil
+}
+
+// Delta returns the stream's current precision bound.
+func (s *Server) Delta(id string) (float64, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	return st.delta, nil
+}
+
+// SetDelta records a changed precision bound for the stream (paired with
+// a delta-update message to the source).
+func (s *Server) SetDelta(id string, delta float64) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	if delta < 0 {
+		return fmt.Errorf("server: negative delta %g for %s", delta, id)
+	}
+	st.delta = delta
+	return nil
+}
+
+// Info returns a diagnostic snapshot for one stream.
+func (s *Server) Info(id string) (StreamInfo, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return StreamInfo{}, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	return StreamInfo{
+		ID:                 st.id,
+		Delta:              st.delta,
+		Norm:               st.norm,
+		Tick:               st.tick,
+		LastCorrectionTick: st.lastCorr,
+		Corrections:        st.corrections,
+		Staleness:          st.tick - 1 - st.lastCorr,
+		Prediction:         st.replica.Predict(),
+	}, nil
+}
+
+// StreamIDs returns the registered stream identifiers in sorted order.
+func (s *Server) StreamIDs() []string {
+	ids := make([]string, 0, len(s.streams))
+	for id := range s.streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of registered streams.
+func (s *Server) Len() int { return len(s.streams) }

@@ -1,0 +1,213 @@
+// Package source implements the client half of the dual-predictor
+// protocol: the precision gate that decides, measurement by measurement,
+// whether the server's replica can be trusted to predict this tick within
+// the precision bound δ — in which case nothing is sent — or whether a
+// correction message must be shipped.
+//
+// The source owns a replica of the *server's* predictor. Because the
+// replica is deterministic and both sides apply exactly the corrections
+// that cross the wire, the source always knows precisely what the server
+// is answering, without asking. This is the paper's "cache dynamic
+// procedures, not static data" inversion.
+package source
+
+import (
+	"fmt"
+	"math"
+
+	"kalmanstream/internal/mat"
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+)
+
+// Norm selects the deviation norm used by the precision gate.
+type Norm uint8
+
+// Norms.
+const (
+	// NormInf bounds every component independently: a correction is sent
+	// when any |zᵢ − predᵢ| exceeds δ. The natural choice for scalar
+	// streams and for per-attribute guarantees.
+	NormInf Norm = iota
+	// NormL2 bounds the Euclidean distance — the natural choice for
+	// positions of moving objects.
+	NormL2
+)
+
+func (n Norm) String() string {
+	switch n {
+	case NormInf:
+		return "Linf"
+	case NormL2:
+		return "L2"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(n))
+	}
+}
+
+// Deviation returns the norm of the element-wise difference between z and
+// pred.
+func (n Norm) Deviation(z, pred []float64) float64 {
+	switch n {
+	case NormL2:
+		var s float64
+		for i := range z {
+			d := z[i] - pred[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	default:
+		var m float64
+		for i := range z {
+			if d := math.Abs(z[i] - pred[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+}
+
+// Config describes one source.
+type Config struct {
+	// StreamID identifies the stream at the server.
+	StreamID string
+	// Spec is the shared predictor specification; the server must
+	// register the same spec.
+	Spec predictor.Spec
+	// Delta is the precision bound δ. Zero means "ship everything".
+	Delta float64
+	// DeviationNorm selects the gate norm (default NormInf).
+	DeviationNorm Norm
+	// HeartbeatEvery forces a correction after this many consecutive
+	// suppressed ticks, bounding server staleness. Zero disables
+	// heartbeats.
+	HeartbeatEvery int64
+	// ResyncEvery upgrades every Nth sent correction to a resync message
+	// carrying a full predictor snapshot, healing any replica divergence
+	// caused by message loss. Zero disables resyncs. On loss-free links
+	// resyncs are pure (bytes) overhead; on lossy links they bound how
+	// long a divergence can persist.
+	ResyncEvery int64
+}
+
+// Stats counts the gate's decisions.
+type Stats struct {
+	Ticks      int64
+	Sent       int64
+	Suppressed int64
+	Heartbeats int64 // corrections forced by the heartbeat policy (subset of Sent)
+	Resyncs    int64 // corrections upgraded to snapshots (subset of Sent)
+	// MaxSuppressedDeviation is the largest deviation ever allowed
+	// through suppression — by construction ≤ δ at the time of the
+	// decision.
+	MaxSuppressedDeviation float64
+}
+
+// SuppressionRatio is the fraction of ticks that required no message.
+func (s Stats) SuppressionRatio() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.Suppressed) / float64(s.Ticks)
+}
+
+// Source is the client-side gate for a single stream.
+type Source struct {
+	cfg     Config
+	replica predictor.Predictor
+	send    func(*netsim.Message)
+
+	run   int64 // consecutive suppressed ticks
+	stats Stats
+}
+
+// New constructs a source whose corrections are transmitted via send.
+func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
+	if cfg.StreamID == "" {
+		return nil, fmt.Errorf("source: empty stream id")
+	}
+	if cfg.Delta < 0 {
+		return nil, fmt.Errorf("source: negative delta %g", cfg.Delta)
+	}
+	if send == nil {
+		return nil, fmt.Errorf("source: nil send function")
+	}
+	replica, err := cfg.Spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("source: building replica: %w", err)
+	}
+	return &Source{cfg: cfg, replica: replica, send: send}, nil
+}
+
+// Observe processes the measurement for one tick: advances the replica,
+// applies the precision gate, and ships a correction when needed. It
+// reports whether a message was sent.
+func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
+	if len(z) != s.replica.Dim() {
+		return false, fmt.Errorf("source %s: measurement dim %d, want %d", s.cfg.StreamID, len(z), s.replica.Dim())
+	}
+	s.replica.Step()
+	s.stats.Ticks++
+
+	pred := s.replica.Predict()
+	dev := s.cfg.DeviationNorm.Deviation(z, pred)
+
+	heartbeatDue := s.cfg.HeartbeatEvery > 0 && s.run >= s.cfg.HeartbeatEvery
+	if dev <= s.cfg.Delta && !heartbeatDue {
+		s.run++
+		s.stats.Suppressed++
+		if dev > s.stats.MaxSuppressedDeviation {
+			s.stats.MaxSuppressedDeviation = dev
+		}
+		return false, nil
+	}
+
+	if err := s.replica.Correct(z); err != nil {
+		return false, fmt.Errorf("source %s: correcting replica: %w", s.cfg.StreamID, err)
+	}
+	msg := &netsim.Message{
+		Kind:     netsim.KindCorrection,
+		StreamID: s.cfg.StreamID,
+		Tick:     tick,
+		Value:    z,
+	}
+	if s.cfg.ResyncEvery > 0 && (s.stats.Sent+1)%s.cfg.ResyncEvery == 0 {
+		// Upgrade to a resync: the measurement followed by the full
+		// post-correction snapshot, so a server that missed earlier
+		// corrections lands exactly on this replica's state.
+		snap := s.replica.(predictor.Snapshotter).Snapshot()
+		msg.Kind = netsim.KindResync
+		msg.Value = append(mat.VecClone(z), snap...)
+		s.stats.Resyncs++
+	}
+	s.send(msg)
+	s.run = 0
+	s.stats.Sent++
+	if heartbeatDue && dev <= s.cfg.Delta {
+		s.stats.Heartbeats++
+	}
+	return true, nil
+}
+
+// SetDelta changes the precision bound, e.g. on a delta-update from the
+// server's budget allocator.
+func (s *Source) SetDelta(delta float64) error {
+	if delta < 0 {
+		return fmt.Errorf("source %s: negative delta %g", s.cfg.StreamID, delta)
+	}
+	s.cfg.Delta = delta
+	return nil
+}
+
+// Delta returns the current precision bound.
+func (s *Source) Delta() float64 { return s.cfg.Delta }
+
+// StreamID returns the stream identifier.
+func (s *Source) StreamID() string { return s.cfg.StreamID }
+
+// Stats returns a snapshot of the gate counters.
+func (s *Source) Stats() Stats { return s.stats }
+
+// Prediction returns what the server is currently predicting for this
+// stream (the replica's view) — useful for diagnostics and tests.
+func (s *Source) Prediction() []float64 { return s.replica.Predict() }

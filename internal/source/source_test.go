@@ -1,0 +1,231 @@
+package source
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+)
+
+func staticSpec() predictor.Spec { return predictor.Spec{Kind: predictor.KindStatic, Dim: 1} }
+
+func collect(msgs *[]*netsim.Message) func(*netsim.Message) {
+	return func(m *netsim.Message) { *msgs = append(*msgs, m) }
+}
+
+func TestNewValidation(t *testing.T) {
+	send := func(*netsim.Message) {}
+	cases := []Config{
+		{StreamID: "", Spec: staticSpec(), Delta: 1},
+		{StreamID: "s", Spec: staticSpec(), Delta: -1},
+		{StreamID: "s", Spec: predictor.Spec{Kind: "bogus"}, Delta: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg, send); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 1}, nil); err == nil {
+		t.Error("nil send accepted")
+	}
+}
+
+func TestFirstObservationAlwaysSent(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 1}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, err := s.Observe(0, []float64{100}) // far from initial 0 prediction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sent || len(msgs) != 1 {
+		t.Fatalf("first out-of-bound observation not sent (sent=%v, msgs=%d)", sent, len(msgs))
+	}
+	m := msgs[0]
+	if m.Kind != netsim.KindCorrection || m.StreamID != "s" || m.Tick != 0 || m.Value[0] != 100 {
+		t.Fatalf("message wrong: %+v", m)
+	}
+}
+
+func TestSuppressionWithinDelta(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 2}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache at 10.
+	if _, err := s.Observe(0, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	// Values within ±2 of 10 must be suppressed.
+	for i, v := range []float64{11, 9, 10.5, 8.1, 12} {
+		sent, err := s.Observe(int64(i+1), []float64{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent {
+			t.Fatalf("value %v within δ=2 of cached 10 was sent", v)
+		}
+	}
+	// A value outside δ must be sent.
+	sent, err := s.Observe(6, []float64{12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sent {
+		t.Fatal("value outside δ suppressed")
+	}
+	st := s.Stats()
+	if st.Ticks != 7 || st.Sent != 2 || st.Suppressed != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxSuppressedDeviation > 2 {
+		t.Fatalf("suppressed deviation %v exceeded δ", st.MaxSuppressedDeviation)
+	}
+	if got := st.SuppressionRatio(); math.Abs(got-5.0/7) > 1e-12 {
+		t.Fatalf("suppression ratio %v", got)
+	}
+}
+
+func TestZeroDeltaShipsEverything(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 0}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 1, 1, 2, 2}
+	for i, v := range vals {
+		// Repeated identical values have deviation 0 ≤ δ=0: suppressed.
+		// Anything else ships. With static cache: first 1 ships, the two
+		// repeats suppress, first 2 ships, repeat suppresses.
+		if _, err := s.Observe(int64(i), []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Sent; got != 2 {
+		t.Fatalf("sent %d, want 2 (exact-match suppression only)", got)
+	}
+}
+
+func TestHeartbeatForcesCorrection(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 100, HeartbeatEvery: 3}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if _, err := s.Observe(i, []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// δ=100 means nothing would ship organically after the value settles
+	// at 0 (prediction starts at 0, so even tick 0 suppresses). With
+	// HeartbeatEvery=3, a correction fires on every 4th tick.
+	st := s.Stats()
+	if st.Heartbeats == 0 {
+		t.Fatal("no heartbeats fired")
+	}
+	if st.Sent != st.Heartbeats {
+		t.Fatalf("sent %d != heartbeats %d for in-bound stream", st.Sent, st.Heartbeats)
+	}
+	// Runs of suppressed ticks must never exceed HeartbeatEvery.
+	run := int64(0)
+	maxRun := int64(0)
+	next := 0
+	for i := int64(0); i < 10; i++ {
+		if next < len(msgs) && msgs[next].Tick == i {
+			next++
+			run = 0
+			continue
+		}
+		run++
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	if maxRun > 3 {
+		t.Fatalf("suppressed run %d exceeds heartbeat interval 3", maxRun)
+	}
+}
+
+func TestObserveDimMismatch(t *testing.T) {
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 1}, func(*netsim.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestSetDelta(t *testing.T) {
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 1}, func(*netsim.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDelta(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Delta() != 5 {
+		t.Fatalf("delta = %v", s.Delta())
+	}
+	if err := s.SetDelta(-1); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}
+
+func TestNormDeviation(t *testing.T) {
+	z := []float64{3, 4}
+	pred := []float64{0, 0}
+	if got := NormInf.Deviation(z, pred); got != 4 {
+		t.Fatalf("Linf = %v, want 4", got)
+	}
+	if got := NormL2.Deviation(z, pred); got != 5 {
+		t.Fatalf("L2 = %v, want 5", got)
+	}
+	if NormInf.String() != "Linf" || NormL2.String() != "L2" {
+		t.Fatal("norm strings wrong")
+	}
+}
+
+func TestL2GateOn2DStream(t *testing.T) {
+	var msgs []*netsim.Message
+	spec := predictor.Spec{Kind: predictor.KindStatic, Dim: 2}
+	s, err := New(Config{StreamID: "gps", Spec: spec, Delta: 5, DeviationNorm: NormL2}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// (3,3.9) is 4.92 away in L2 — suppressed; but Linf would also pass.
+	sent, _ := s.Observe(1, []float64{3, 3.9})
+	if sent {
+		t.Fatal("point within L2 ball was sent")
+	}
+	// (4,4) is 5.66 away in L2 — must ship even though each component
+	// deviates by only 4 < δ.
+	sent, _ = s.Observe(2, []float64{4, 4})
+	if !sent {
+		t.Fatal("point outside L2 ball suppressed")
+	}
+}
+
+func TestPredictionMatchesGateView(t *testing.T) {
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 1}, func(*netsim.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Prediction()[0]; got != 42 {
+		t.Fatalf("Prediction = %v, want 42", got)
+	}
+	if s.StreamID() != "s" {
+		t.Fatal("StreamID wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes points to w as CSV with a header row:
+// tick,v0,v1,...[,t0,t1,...] — truth columns are included only when every
+// point carries truth.
+func WriteCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	if len(points) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	dim := len(points[0].Value)
+	withTruth := true
+	for _, p := range points {
+		if p.Truth == nil {
+			withTruth = false
+			break
+		}
+	}
+	header := []string{"tick"}
+	for i := 0; i < dim; i++ {
+		header = append(header, fmt.Sprintf("v%d", i))
+	}
+	if withTruth {
+		for i := 0; i < dim; i++ {
+			header = append(header, fmt.Sprintf("t%d", i))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, p := range points {
+		if len(p.Value) != dim {
+			return fmt.Errorf("stream: point at tick %d has dim %d, want %d", p.Tick, len(p.Value), dim)
+		}
+		row = row[:0]
+		row = append(row, strconv.FormatInt(p.Tick, 10))
+		for _, v := range p.Value {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if withTruth {
+			for _, v := range p.Truth {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses points from r in the format produced by WriteCSV.
+func ReadCSV(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(header) < 2 || header[0] != "tick" {
+		return nil, fmt.Errorf("stream: malformed CSV header %v", header)
+	}
+	dim := 0
+	for _, col := range header[1:] {
+		if len(col) > 1 && col[0] == 'v' {
+			dim++
+		}
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("stream: CSV header %v has no value columns", header)
+	}
+	withTruth := len(header) == 1+2*dim
+	if !withTruth && len(header) != 1+dim {
+		return nil, fmt.Errorf("stream: CSV header %v has unexpected column count", header)
+	}
+	var points []Point
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return points, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tick, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: bad tick %q: %w", rec[0], err)
+		}
+		p := Point{Tick: tick, Value: make([]float64, dim)}
+		for i := 0; i < dim; i++ {
+			p.Value[i], err = strconv.ParseFloat(rec[1+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: bad value %q: %w", rec[1+i], err)
+			}
+		}
+		if withTruth {
+			p.Truth = make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				p.Truth[i], err = strconv.ParseFloat(rec[1+dim+i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("stream: bad truth %q: %w", rec[1+dim+i], err)
+				}
+			}
+		}
+		points = append(points, p)
+	}
+}

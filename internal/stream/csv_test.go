@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripWithTruth(t *testing.T) {
+	orig := Record(NewWaypoint2D(3, 100, 1, 3, 0.5, 5, 50))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Tick != orig[i].Tick {
+			t.Fatalf("tick mismatch at %d", i)
+		}
+		for k := range got[i].Value {
+			if got[i].Value[k] != orig[i].Value[k] {
+				t.Fatalf("value mismatch at %d[%d]: %v vs %v", i, k, got[i].Value[k], orig[i].Value[k])
+			}
+			if got[i].Truth[k] != orig[i].Truth[k] {
+				t.Fatalf("truth mismatch at %d[%d]", i, k)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripWithoutTruth(t *testing.T) {
+	orig := []Point{
+		{Tick: 0, Value: []float64{1.5}},
+		{Tick: 1, Value: []float64{-2.25}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "t0") {
+		t.Fatal("truth column emitted for truthless points")
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Value[0] != -2.25 || got[1].Truth != nil {
+		t.Fatalf("round trip wrong: %+v", got)
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no points, got %d", len(got))
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []string{
+		"nottick,v0\n1,2\n",
+		"tick\n1\n",
+		"tick,v0\nx,2\n",
+		"tick,v0\n1,notafloat\n",
+		"tick,v0,t0\n1,2,notafloat\n",
+		"tick,v0,x1,x2,x3\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}
+
+func TestWriteCSVInconsistentDims(t *testing.T) {
+	pts := []Point{
+		{Tick: 0, Value: []float64{1}},
+		{Tick: 1, Value: []float64{1, 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err == nil {
+		t.Fatal("inconsistent dims accepted")
+	}
+}

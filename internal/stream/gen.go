@@ -1,0 +1,450 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// gen is the shared scaffolding for the synthetic generators: a name, a
+// length, a tick counter, and a seeded RNG.
+type gen struct {
+	name string
+	dim  int
+	n    int64
+	tick int64
+	rng  *rand.Rand
+}
+
+func newGen(name string, dim int, n int64, seed int64) gen {
+	return gen{name: name, dim: dim, n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *gen) Name() string { return g.name }
+func (g *gen) Dim() int     { return g.dim }
+
+// done advances the tick counter; it returns false once n points have
+// been produced.
+func (g *gen) done() bool { return g.tick >= g.n }
+
+func (g *gen) emit(truth []float64, noiseStd float64) Point {
+	value := make([]float64, len(truth))
+	for i, tv := range truth {
+		value[i] = tv
+		if noiseStd > 0 {
+			value[i] += g.rng.NormFloat64() * noiseStd
+		}
+	}
+	tr := make([]float64, len(truth))
+	copy(tr, truth)
+	p := Point{Tick: g.tick, Value: value, Truth: tr}
+	g.tick++
+	return p
+}
+
+// RandomWalkStream is a Gaussian random walk observed through additive
+// Gaussian measurement noise.
+type RandomWalkStream struct {
+	gen
+	x        float64
+	stepStd  float64
+	noiseStd float64
+}
+
+// NewRandomWalk returns a random walk starting at start with per-tick step
+// standard deviation stepStd and measurement noise noiseStd, producing n
+// points.
+func NewRandomWalk(seed int64, start, stepStd, noiseStd float64, n int64) *RandomWalkStream {
+	return &RandomWalkStream{
+		gen:      newGen("random-walk", 1, n, seed),
+		x:        start,
+		stepStd:  stepStd,
+		noiseStd: noiseStd,
+	}
+}
+
+// Next implements Stream.
+func (s *RandomWalkStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	s.x += s.rng.NormFloat64() * s.stepStd
+	return s.emit([]float64{s.x}, s.noiseStd), true
+}
+
+// LinearDriftStream ramps linearly with optional measurement noise — the
+// simplest predictable-dynamics stream; a constant-velocity filter should
+// suppress almost everything on it.
+type LinearDriftStream struct {
+	gen
+	x        float64
+	slope    float64
+	noiseStd float64
+}
+
+// NewLinearDrift returns a ramp starting at start with the given per-tick
+// slope and measurement noise.
+func NewLinearDrift(seed int64, start, slope, noiseStd float64, n int64) *LinearDriftStream {
+	return &LinearDriftStream{
+		gen:      newGen("linear-drift", 1, n, seed),
+		x:        start,
+		slope:    slope,
+		noiseStd: noiseStd,
+	}
+}
+
+// Next implements Stream.
+func (s *LinearDriftStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	s.x += s.slope
+	return s.emit([]float64{s.x}, s.noiseStd), true
+}
+
+// SineStream is a noisy sinusoid — the canonical smooth, time-varying but
+// locally linear signal.
+type SineStream struct {
+	gen
+	amplitude float64
+	period    float64
+	phase     float64
+	offset    float64
+	noiseStd  float64
+}
+
+// NewSine returns offset + amplitude·sin(2πt/period + phase) with
+// measurement noise.
+func NewSine(seed int64, offset, amplitude, period, phase, noiseStd float64, n int64) *SineStream {
+	return &SineStream{
+		gen:       newGen("sine", 1, n, seed),
+		amplitude: amplitude,
+		period:    period,
+		phase:     phase,
+		offset:    offset,
+		noiseStd:  noiseStd,
+	}
+}
+
+// Next implements Stream.
+func (s *SineStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	v := s.offset + s.amplitude*math.Sin(2*math.Pi*float64(s.tick)/s.period+s.phase)
+	return s.emit([]float64{v}, s.noiseStd), true
+}
+
+// OUStream is an Ornstein–Uhlenbeck (mean-reverting AR(1)) process, the
+// standard model for quantities that fluctuate around a set point, such as
+// temperatures and queue lengths.
+type OUStream struct {
+	gen
+	x        float64
+	mean     float64
+	theta    float64 // reversion rate per tick, in (0, 1]
+	sigma    float64 // innovation std per tick
+	noiseStd float64
+}
+
+// NewOU returns an OU process: x ← x + θ·(mean − x) + N(0, σ²).
+func NewOU(seed int64, mean, theta, sigma, noiseStd float64, n int64) *OUStream {
+	return &OUStream{
+		gen:      newGen("ornstein-uhlenbeck", 1, n, seed),
+		x:        mean,
+		mean:     mean,
+		theta:    theta,
+		sigma:    sigma,
+		noiseStd: noiseStd,
+	}
+}
+
+// Next implements Stream.
+func (s *OUStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	s.x += s.theta*(s.mean-s.x) + s.rng.NormFloat64()*s.sigma
+	return s.emit([]float64{s.x}, s.noiseStd), true
+}
+
+// RegimeSwitchingStream alternates among qualitatively different dynamics
+// (flat, ramp up, ramp down, sine) every segment, exercising a filter's
+// ability to re-adapt when the world changes underneath it.
+type RegimeSwitchingStream struct {
+	gen
+	x        float64
+	segLen   int64
+	noiseStd float64
+	regime   int
+	slope    float64
+	period   float64
+	segStart int64
+	segBase  float64
+}
+
+// NewRegimeSwitching returns a stream that re-draws its dynamics every
+// segLen ticks.
+func NewRegimeSwitching(seed int64, segLen int64, noiseStd float64, n int64) *RegimeSwitchingStream {
+	s := &RegimeSwitchingStream{
+		gen:      newGen("regime-switching", 1, n, seed),
+		segLen:   segLen,
+		noiseStd: noiseStd,
+	}
+	s.newRegime()
+	return s
+}
+
+func (s *RegimeSwitchingStream) newRegime() {
+	s.regime = s.rng.Intn(4)
+	s.slope = (s.rng.Float64() - 0.5) * 2 // [-1, 1)
+	s.period = 20 + s.rng.Float64()*180
+	s.segStart = s.tick
+	s.segBase = s.x
+}
+
+// Next implements Stream.
+func (s *RegimeSwitchingStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	if s.tick-s.segStart >= s.segLen && s.segLen > 0 {
+		s.newRegime()
+	}
+	switch s.regime {
+	case 0: // flat with small jitter
+		s.x += s.rng.NormFloat64() * 0.01
+	case 1: // ramp up
+		s.x += math.Abs(s.slope)
+	case 2: // ramp down
+		s.x -= math.Abs(s.slope)
+	default: // sine around the segment base
+		t := float64(s.tick - s.segStart)
+		s.x = s.segBase + 5*math.Sin(2*math.Pi*t/s.period)
+	}
+	return s.emit([]float64{s.x}, s.noiseStd), true
+}
+
+// NetworkLoadStream synthesizes a link-utilization-style signal: a
+// baseline plus two periodic components (a long "diurnal" cycle and a
+// short cycle), Gaussian jitter, and exponentially decaying bursts that
+// arrive as a Poisson process — the qualitative structure of real network
+// monitoring streams.
+type NetworkLoadStream struct {
+	gen
+	baseline   float64
+	diurnalAmp float64
+	diurnalPer float64
+	shortAmp   float64
+	shortPer   float64
+	jitterStd  float64
+	burstProb  float64
+	burstMean  float64
+	burstDecay float64
+	burst      float64
+	noiseStd   float64
+}
+
+// NewNetworkLoad returns a bursty multi-timescale load signal of n points.
+func NewNetworkLoad(seed int64, n int64) *NetworkLoadStream {
+	return &NetworkLoadStream{
+		gen:        newGen("network-load", 1, n, seed),
+		baseline:   100,
+		diurnalAmp: 40,
+		diurnalPer: 5000,
+		shortAmp:   8,
+		shortPer:   60,
+		jitterStd:  1.5,
+		burstProb:  0.004,
+		burstMean:  60,
+		burstDecay: 0.9,
+		noiseStd:   1.0,
+	}
+}
+
+// Next implements Stream.
+func (s *NetworkLoadStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	t := float64(s.tick)
+	v := s.baseline +
+		s.diurnalAmp*math.Sin(2*math.Pi*t/s.diurnalPer) +
+		s.shortAmp*math.Sin(2*math.Pi*t/s.shortPer) +
+		s.rng.NormFloat64()*s.jitterStd
+	if s.rng.Float64() < s.burstProb {
+		s.burst += s.burstMean * (0.5 + s.rng.Float64())
+	}
+	s.burst *= s.burstDecay
+	v += s.burst
+	if v < 0 {
+		v = 0
+	}
+	return s.emit([]float64{v}, s.noiseStd), true
+}
+
+// GBMStream is geometric Brownian motion — the standard model for
+// financial quote streams.
+type GBMStream struct {
+	gen
+	price    float64
+	mu       float64 // drift per tick
+	sigma    float64 // volatility per tick
+	noiseStd float64
+}
+
+// NewGBM returns a GBM price path starting at s0.
+func NewGBM(seed int64, s0, mu, sigma, noiseStd float64, n int64) *GBMStream {
+	return &GBMStream{
+		gen:      newGen("gbm-stock", 1, n, seed),
+		price:    s0,
+		mu:       mu,
+		sigma:    sigma,
+		noiseStd: noiseStd,
+	}
+}
+
+// Next implements Stream.
+func (s *GBMStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	s.price *= math.Exp((s.mu - s.sigma*s.sigma/2) + s.sigma*s.rng.NormFloat64())
+	return s.emit([]float64{s.price}, s.noiseStd), true
+}
+
+// Waypoint2DStream simulates a moving object under the random-waypoint
+// mobility model: pick a destination uniformly in the arena, travel toward
+// it at a per-leg speed, repeat. Observations are 2-D positions with GPS-
+// style noise.
+type Waypoint2DStream struct {
+	gen
+	x, y           float64
+	destX, destY   float64
+	speed          float64
+	arena          float64
+	minSpeed       float64
+	maxSpeed       float64
+	noiseStd       float64
+	pauseRemaining int64
+	maxPause       int64
+}
+
+// NewWaypoint2D returns a random-waypoint trajectory within an
+// arena×arena square with leg speeds in [minSpeed, maxSpeed] and pauses up
+// to maxPause ticks at each waypoint.
+func NewWaypoint2D(seed int64, arena, minSpeed, maxSpeed, noiseStd float64, maxPause, n int64) *Waypoint2DStream {
+	s := &Waypoint2DStream{
+		gen:      newGen("waypoint-2d", 2, n, seed),
+		arena:    arena,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		noiseStd: noiseStd,
+		maxPause: maxPause,
+	}
+	s.x = s.rng.Float64() * arena
+	s.y = s.rng.Float64() * arena
+	s.pickDestination()
+	return s
+}
+
+func (s *Waypoint2DStream) pickDestination() {
+	s.destX = s.rng.Float64() * s.arena
+	s.destY = s.rng.Float64() * s.arena
+	s.speed = s.minSpeed + s.rng.Float64()*(s.maxSpeed-s.minSpeed)
+	if s.maxPause > 0 {
+		s.pauseRemaining = s.rng.Int63n(s.maxPause + 1)
+	}
+}
+
+// Next implements Stream.
+func (s *Waypoint2DStream) Next() (Point, bool) {
+	if s.done() {
+		return Point{}, false
+	}
+	if s.pauseRemaining > 0 {
+		s.pauseRemaining--
+	} else {
+		dx, dy := s.destX-s.x, s.destY-s.y
+		dist := math.Hypot(dx, dy)
+		if dist <= s.speed {
+			s.x, s.y = s.destX, s.destY
+			s.pickDestination()
+		} else {
+			s.x += s.speed * dx / dist
+			s.y += s.speed * dy / dist
+		}
+	}
+	return s.emit([]float64{s.x, s.y}, s.noiseStd), true
+}
+
+// CompositeStream sums several component generators sharing a tick clock,
+// for building richer signals out of the primitives.
+type CompositeStream struct {
+	name    string
+	parts   []Stream
+	dim     int
+	noise   float64
+	rng     *rand.Rand
+	tick    int64
+	nLimit  int64
+	stopped bool
+}
+
+// NewComposite returns a stream whose value is the element-wise sum of the
+// parts (which must share dimensionality), plus optional extra noise. The
+// composite ends when any part ends.
+func NewComposite(name string, seed int64, noiseStd float64, parts ...Stream) *CompositeStream {
+	if len(parts) == 0 {
+		panic("stream: NewComposite requires at least one part")
+	}
+	dim := parts[0].Dim()
+	for _, p := range parts[1:] {
+		if p.Dim() != dim {
+			panic("stream: NewComposite parts have mismatched dimensions")
+		}
+	}
+	return &CompositeStream{
+		name:   name,
+		parts:  parts,
+		dim:    dim,
+		noise:  noiseStd,
+		rng:    rand.New(rand.NewSource(seed)),
+		nLimit: math.MaxInt64,
+	}
+}
+
+// Name implements Stream.
+func (s *CompositeStream) Name() string { return s.name }
+
+// Dim implements Stream.
+func (s *CompositeStream) Dim() int { return s.dim }
+
+// Next implements Stream.
+func (s *CompositeStream) Next() (Point, bool) {
+	if s.stopped || s.tick >= s.nLimit {
+		return Point{}, false
+	}
+	value := make([]float64, s.dim)
+	truth := make([]float64, s.dim)
+	for _, part := range s.parts {
+		p, ok := part.Next()
+		if !ok {
+			s.stopped = true
+			return Point{}, false
+		}
+		for i := range value {
+			value[i] += p.Value[i]
+			if p.Truth != nil {
+				truth[i] += p.Truth[i]
+			}
+		}
+	}
+	for i := range value {
+		if s.noise > 0 {
+			value[i] += s.rng.NormFloat64() * s.noise
+		}
+	}
+	p := Point{Tick: s.tick, Value: value, Truth: truth}
+	s.tick++
+	return p, true
+}

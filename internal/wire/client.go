@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/source"
+)
+
+// Client is one TCP connection to a wire server. A source process uses
+// Register + the Source wrapper; a query process uses Query. Client is
+// not safe for concurrent use; open one connection per goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// expect reads one frame and decodes the common OK/Error/Answer shapes.
+func (c *Client) expect(want uint8) ([]byte, error) {
+	typ, payload, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case want:
+		return payload, nil
+	case FrameError:
+		return nil, fmt.Errorf("wire: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type %d (want %d)", typ, want)
+	}
+}
+
+// Register announces a stream.
+func (c *Client) Register(id string, spec predictor.Spec, delta float64) error {
+	buf, err := json.Marshal(RegisterPayload{ID: id, Spec: spec, Delta: delta})
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.bw, FrameRegister, buf); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	_, err = c.expect(FrameOK)
+	return err
+}
+
+// SendCorrection ships a correction message; fire-and-forget.
+func (c *Client) SendCorrection(m *netsim.Message) error {
+	buf, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.bw, FrameMessage, buf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Query asks for a stream's value as of tick.
+func (c *Client) Query(id string, tick int64) (AnswerPayload, error) {
+	buf, err := json.Marshal(QueryPayload{ID: id, Tick: tick})
+	if err != nil {
+		return AnswerPayload{}, err
+	}
+	if err := WriteFrame(c.bw, FrameQuery, buf); err != nil {
+		return AnswerPayload{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return AnswerPayload{}, err
+	}
+	payload, err := c.expect(FrameAnswer)
+	if err != nil {
+		return AnswerPayload{}, err
+	}
+	var ans AnswerPayload
+	if err := json.Unmarshal(payload, &ans); err != nil {
+		return AnswerPayload{}, err
+	}
+	return ans, nil
+}
+
+// NetworkedSource binds a local precision gate to a remote server: the
+// gate's corrections go out over the client connection.
+type NetworkedSource struct {
+	client *Client
+	src    *source.Source
+	// sendErr holds the first transport error; surfaced on Observe.
+	sendErr error
+}
+
+// NewNetworkedSource registers the stream remotely and returns a gate
+// whose corrections flow over the connection.
+func NewNetworkedSource(client *Client, cfg source.Config) (*NetworkedSource, error) {
+	if err := client.Register(cfg.StreamID, cfg.Spec, cfg.Delta); err != nil {
+		return nil, err
+	}
+	ns := &NetworkedSource{client: client}
+	src, err := source.New(cfg, func(m *netsim.Message) {
+		if err := client.SendCorrection(m); err != nil && ns.sendErr == nil {
+			ns.sendErr = err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns.src = src
+	return ns, nil
+}
+
+// Observe feeds one measurement through the gate, shipping a correction
+// over TCP when required.
+func (ns *NetworkedSource) Observe(tick int64, z []float64) (sent bool, err error) {
+	sent, err = ns.src.Observe(tick, z)
+	if err != nil {
+		return sent, err
+	}
+	if ns.sendErr != nil {
+		return sent, fmt.Errorf("wire: correction send failed: %w", ns.sendErr)
+	}
+	return sent, nil
+}
+
+// Stats exposes the gate counters.
+func (ns *NetworkedSource) Stats() source.Stats { return ns.src.Stats() }

@@ -1,0 +1,84 @@
+// Package wire runs the dual-predictor protocol over real TCP
+// connections: length-prefixed frames carrying stream registrations,
+// binary correction messages, and bounded-value queries. cmd/kfserver and
+// cmd/kfsource are thin mains over this package.
+//
+// Framing: every frame is [uint32 length][uint8 type][payload]; length
+// covers type+payload. Registrations and query answers are JSON (rare,
+// debuggable); corrections reuse the compact binary encoding from
+// internal/netsim (frequent, small).
+//
+// Clocks: a networked source ticks on its own schedule, and suppressed
+// ticks — the whole point of the protocol — produce no traffic, so the
+// server cannot count ticks from messages alone. Instead every correction
+// and every query carries its tick, and the server lazily advances each
+// replica to the tick it is asked about. This is exactly why "caching a
+// procedure" works across a network: the replica can be rolled forward
+// deterministically to any tick on demand.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	// FrameRegister carries a JSON RegisterPayload (client → server).
+	FrameRegister uint8 = iota + 1
+	// FrameMessage carries a netsim binary message (client → server).
+	FrameMessage
+	// FrameQuery carries a JSON QueryPayload (client → server).
+	FrameQuery
+	// FrameAnswer carries a JSON AnswerPayload (server → client).
+	FrameAnswer
+	// FrameOK acknowledges a registration (server → client).
+	FrameOK
+	// FrameError carries a UTF-8 error string (server → client).
+	FrameError
+)
+
+// MaxFrameSize bounds a frame to keep a malicious or corrupted peer from
+// forcing a giant allocation.
+const MaxFrameSize = 1 << 20
+
+// ErrFrameTooLarge is returned when a peer announces a frame above
+// MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (typ uint8, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return body[0], body[1:], nil
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader: it must
+// never panic or over-allocate, and every frame it accepts must round-trip
+// through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteFrame(&good, FrameQuery, []byte(`{"id":"x","tick":3}`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Add([]byte{0, 0, 0, 2, FrameOK, 'x'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		// The re-encoded frame must parse back identically.
+		typ2, payload2, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatal("round trip changed the frame")
+		}
+	})
+}
+
+// FuzzReadFrameStream checks that a reader over a concatenation of frames
+// plus garbage never panics and consumes frames in order.
+func FuzzReadFrameStream(f *testing.F) {
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&stream, FrameMessage, []byte{byte(i)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(stream.Bytes(), 3)
+	f.Add([]byte{}, 0)
+
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		r := bytes.NewReader(data)
+		for i := 0; i < n%16; i++ {
+			if _, _, err := ReadFrame(r); err != nil {
+				if err == io.EOF || err == ErrFrameTooLarge {
+					return
+				}
+				return // any structured error is acceptable; panics are not
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/server"
+)
+
+// RegisterPayload announces a stream to the server; the source and server
+// build their predictor replicas from the same spec it carries.
+type RegisterPayload struct {
+	ID    string         `json:"id"`
+	Spec  predictor.Spec `json:"spec"`
+	Delta float64        `json:"delta"`
+}
+
+// QueryPayload asks for a stream's value as of a tick.
+type QueryPayload struct {
+	ID   string `json:"id"`
+	Tick int64  `json:"tick"`
+}
+
+// AnswerPayload is the bounded answer to a query.
+type AnswerPayload struct {
+	ID       string    `json:"id"`
+	Tick     int64     `json:"tick"`
+	Estimate []float64 `json:"estimate"`
+	Bound    float64   `json:"bound"`
+}
+
+// Server accepts source and query connections and hosts the replica
+// cache. Unlike the single-threaded core.System, it is safe for
+// concurrent connections: one mutex serializes replica access (state
+// dimension is tiny, so the critical sections are nanoseconds).
+type Server struct {
+	mu       sync.Mutex
+	srv      *server.Server
+	advanced map[string]int64 // ticks each replica has been stepped through
+
+	// Logf receives connection-level diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer returns an empty wire server.
+func NewServer() *Server {
+	return &Server{
+		srv:      server.New(),
+		advanced: make(map[string]int64),
+		Logf:     log.Printf,
+	}
+}
+
+// MaxAdvancePerMessage bounds how far a single correction or query may
+// roll a replica forward. Without it, one malicious or corrupted message
+// with a huge tick would spin the server for an unbounded number of
+// replica steps while holding the lock.
+const MaxAdvancePerMessage = 10_000_000
+
+// advanceTo rolls the stream's replica forward so that ticks [0, tick]
+// have been stepped. Caller holds mu.
+func (s *Server) advanceTo(id string, tick int64) error {
+	cur, ok := s.advanced[id]
+	if !ok {
+		return fmt.Errorf("wire: unknown stream %q", id)
+	}
+	if tick+1-cur > MaxAdvancePerMessage {
+		return fmt.Errorf("wire: tick %d would advance stream %q by %d steps (limit %d)",
+			tick, id, tick+1-cur, int64(MaxAdvancePerMessage))
+	}
+	for cur < tick+1 {
+		if err := s.srv.TickStream(id); err != nil {
+			return err
+		}
+		cur++
+	}
+	s.advanced[id] = cur
+	return nil
+}
+
+// Register creates a stream replica (exposed for in-process use and
+// tests; connections invoke it via FrameRegister).
+func (s *Server) Register(p RegisterPayload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.srv.Register(p.ID, p.Spec, p.Delta); err != nil {
+		return err
+	}
+	s.advanced[p.ID] = 0
+	return nil
+}
+
+// Apply ingests a correction, rolling the replica to the message's tick
+// first.
+func (s *Server) Apply(m *netsim.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advanceTo(m.StreamID, m.Tick); err != nil {
+		return err
+	}
+	return s.srv.Apply(m)
+}
+
+// Query answers a stream's value as of the given tick.
+func (s *Server) Query(q QueryPayload) (AnswerPayload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advanceTo(q.ID, q.Tick); err != nil {
+		return AnswerPayload{}, err
+	}
+	est, bound, err := s.srv.Value(q.ID)
+	if err != nil {
+		return AnswerPayload{}, err
+	}
+	return AnswerPayload{ID: q.ID, Tick: q.Tick, Estimate: est, Bound: bound}, nil
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.Logf("wire: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, typ, payload); err != nil {
+			if writeErr := WriteFrame(conn, FrameError, []byte(err.Error())); writeErr != nil {
+				s.Logf("wire: %s: write error frame: %v", conn.RemoteAddr(), writeErr)
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
+	switch typ {
+	case FrameRegister:
+		var p RegisterPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("wire: bad register payload: %w", err)
+		}
+		if err := s.Register(p); err != nil {
+			return err
+		}
+		return WriteFrame(conn, FrameOK, nil)
+	case FrameMessage:
+		m, err := netsim.Decode(payload)
+		if err != nil {
+			return err
+		}
+		// Corrections are fire-and-forget: no ack, so a source's send
+		// path costs exactly one frame — the property being measured.
+		return s.Apply(m)
+	case FrameQuery:
+		var q QueryPayload
+		if err := json.Unmarshal(payload, &q); err != nil {
+			return fmt.Errorf("wire: bad query payload: %w", err)
+		}
+		ans, err := s.Query(q)
+		if err != nil {
+			return err
+		}
+		buf, err := json.Marshal(ans)
+		if err != nil {
+			return err
+		}
+		return WriteFrame(conn, FrameAnswer, buf)
+	default:
+		return fmt.Errorf("wire: unexpected frame type %d", typ)
+	}
+}

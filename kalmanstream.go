@@ -1,0 +1,149 @@
+// Package kalmanstream is an adaptive stream resource manager: it answers
+// continuous queries over high-volume, noisy, time-varying data streams
+// while minimizing communication between data sources and the server,
+// subject to user-specified precision bounds.
+//
+// It is an independent open-source reproduction of the system described in
+// "Adaptive Stream Resource Management Using Kalman Filters" (SIGMOD 2004).
+// The central idea: instead of caching static values at the server and
+// refreshing them whenever they drift ("approximate caching"), cache a
+// *dynamic procedure* — a Kalman filter — replicated identically at the
+// source and the server. Each tick the source checks its fresh measurement
+// against the prediction the server's replica is about to serve; when the
+// prediction is within the precision bound δ, nothing is sent at all. Only
+// genuinely surprising measurements cross the network, and every answer
+// the server gives carries a hard ±δ guarantee.
+//
+// # Quick start
+//
+//	sys, _ := kalmanstream.NewSystem(kalmanstream.SystemConfig{})
+//	h, _ := sys.Attach(kalmanstream.StreamConfig{
+//		ID:        "temperature-42",
+//		Predictor: kalmanstream.KalmanConstantVelocity(0.01, 0.25),
+//		Delta:     0.5, // answers are exact to ±0.5 degrees
+//	})
+//	for _, z := range measurements {
+//		sys.Advance()
+//		h.Observe([]float64{z}) // usually sends nothing
+//		ans, _ := sys.Value("temperature-42")
+//		fmt.Printf("%.2f ± %.2f\n", ans.Estimate, ans.Bound)
+//	}
+//
+// Multiple streams compose: Sum, Average, Min, Max and range predicates
+// return answers with soundly composed error bounds, and an optional
+// communication budget redistributes precision across streams with the
+// water-filling allocator.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package kalmanstream
+
+import (
+	"kalmanstream/internal/core"
+)
+
+// System is a single-process stream resource manager: the server-side
+// replica cache plus the attached sources, on a shared tick clock.
+type System = core.System
+
+// SystemConfig configures a System.
+type SystemConfig = core.SystemConfig
+
+// StreamConfig configures one attached stream.
+type StreamConfig = core.StreamConfig
+
+// StreamHandle is the source-side handle for one attached stream.
+type StreamHandle = core.StreamHandle
+
+// PredictorSpec describes a replicated prediction procedure.
+type PredictorSpec = core.PredictorSpec
+
+// Answer is a bounded-error query answer.
+type Answer = core.Answer
+
+// Interval is a guaranteed enclosure of a true value.
+type Interval = core.Interval
+
+// Tristate is the answer to a predicate over approximate values.
+type Tristate = core.Tristate
+
+// ProbAnswer is a probabilistic point answer (estimate ± confidence
+// interval derived from the replica's predictive distribution).
+type ProbAnswer = core.ProbAnswer
+
+// Predicate is a continuous range condition on a stream.
+type Predicate = core.Predicate
+
+// Event reports a subscribed predicate's truth-state transition.
+type Event = core.Event
+
+// Norm selects the deviation norm for the precision gate.
+type Norm = core.Norm
+
+// SourceStats summarizes a stream's gate decisions.
+type SourceStats = core.SourceStats
+
+// LinkStats summarizes traffic on a stream's uplink.
+type LinkStats = core.LinkStats
+
+// Gate norms.
+const (
+	NormInf = core.NormInf
+	NormL2  = core.NormL2
+)
+
+// Tristate values.
+const (
+	False   = core.False
+	Unknown = core.Unknown
+	True    = core.True
+)
+
+// NewSystem constructs a System.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// StaticCache returns the approximate-caching baseline predictor: the
+// server predicts the last shipped value.
+func StaticCache(dim int) PredictorSpec { return core.StaticCache(dim) }
+
+// DeadReckoning returns linear extrapolation from the last two shipped
+// values.
+func DeadReckoning(dim int) PredictorSpec { return core.DeadReckoning(dim) }
+
+// EWMA returns an exponentially-weighted-moving-average predictor with
+// smoothing factor alpha ∈ (0, 1].
+func EWMA(dim int, alpha float64) PredictorSpec { return core.EWMA(dim, alpha) }
+
+// Holt returns a double-exponential-smoothing predictor (level + trend)
+// with level factor alpha and trend factor beta, both in (0, 1].
+func Holt(dim int, alpha, beta float64) PredictorSpec { return core.Holt(dim, alpha, beta) }
+
+// KalmanRandomWalk returns a Kalman predictor with random-walk dynamics
+// (process noise q, measurement noise r).
+func KalmanRandomWalk(q, r float64) PredictorSpec { return core.KalmanRandomWalk(q, r) }
+
+// KalmanConstantVelocity returns a Kalman predictor tracking a level and
+// its trend — the workhorse model for drifting or smoothly varying
+// streams.
+func KalmanConstantVelocity(q, r float64) PredictorSpec { return core.KalmanConstantVelocity(q, r) }
+
+// KalmanConstantAcceleration returns a third-order kinematic Kalman
+// predictor.
+func KalmanConstantAcceleration(q, r float64) PredictorSpec {
+	return core.KalmanConstantAcceleration(q, r)
+}
+
+// KalmanConstantVelocity2D returns the planar moving-object model
+// (state x, y, vx, vy; observations x, y).
+func KalmanConstantVelocity2D(q, r float64) PredictorSpec {
+	return core.KalmanConstantVelocity2D(q, r)
+}
+
+// Adaptive turns on innovation-driven noise adaptation for a Kalman spec,
+// for streams whose noise characteristics are unknown or drift over time.
+func Adaptive(spec PredictorSpec) PredictorSpec { return core.Adaptive(spec) }
+
+// KalmanBank combines several Kalman specs into a multi-model bank that
+// re-weights its hypotheses online by predictive likelihood — the default
+// choice when a stream's dynamics are unknown or change over time.
+func KalmanBank(models ...PredictorSpec) PredictorSpec { return core.KalmanBank(models...) }

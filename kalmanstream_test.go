@@ -1,0 +1,71 @@
+package kalmanstream_test
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream"
+)
+
+// TestPublicAPIRoundTrip exercises the library exactly as the README's
+// quick start does.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sys, err := kalmanstream.NewSystem(kalmanstream.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(kalmanstream.StreamConfig{
+		ID:        "temperature-42",
+		Predictor: kalmanstream.KalmanConstantVelocity(0.01, 0.25),
+		Delta:     0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		z := 20 + 3*math.Sin(float64(i)/40)
+		sent, err := h.Observe([]float64{z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := sys.Value("temperature-42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sent && math.Abs(ans.Estimate-z) > ans.Bound+1e-9 {
+			t.Fatalf("tick %d: %v ± %v vs %v", i, ans.Estimate, ans.Bound, z)
+		}
+	}
+	if h.Stats().Suppressed == 0 {
+		t.Fatal("no suppression on a smooth signal")
+	}
+}
+
+func TestPublicPredictorConstructors(t *testing.T) {
+	specs := []kalmanstream.PredictorSpec{
+		kalmanstream.StaticCache(1),
+		kalmanstream.DeadReckoning(2),
+		kalmanstream.EWMA(1, 0.3),
+		kalmanstream.KalmanRandomWalk(1, 1),
+		kalmanstream.KalmanConstantVelocity(0.1, 1),
+		kalmanstream.KalmanConstantAcceleration(0.1, 1),
+		kalmanstream.KalmanConstantVelocity2D(0.1, 1),
+		kalmanstream.Adaptive(kalmanstream.KalmanConstantVelocity(0.1, 1)),
+	}
+	sys, err := kalmanstream.NewSystem(kalmanstream.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		if _, err := sys.Attach(kalmanstream.StreamConfig{
+			ID:        string(rune('a' + i)),
+			Predictor: spec,
+			Delta:     1,
+		}); err != nil {
+			t.Errorf("spec %d: %v", i, err)
+		}
+	}
+}
