@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: vet, build, and the full test suite under the race detector
+# (telemetry and the wire server are concurrent by design).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

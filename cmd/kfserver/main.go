@@ -4,30 +4,79 @@
 // let through; queries can be answered from any connection with hard
 // error bounds.
 //
+// Observability: every connection and stream is instrumented (see the
+// README's Observability section for metric names). The telemetry
+// snapshot is reachable two ways: over the wire protocol itself via a
+// metrics frame, and — when -http is set — over HTTP as Prometheus text
+// at /metrics and as JSON at /debug/vars. Diagnostics are structured
+// log/slog records on stderr.
+//
 // Usage:
 //
-//	kfserver [-addr :9653]
+//	kfserver [-addr :9653] [-http :9654] [-logjson]
 package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"os"
 
+	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":9653", "listen address")
+	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /debug/vars (e.g. :9654)")
+	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("component", "kfserver")
+	slog.SetDefault(logger)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("kfserver: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("kfserver: listening on %s", l.Addr())
-	srv := wire.NewServer()
+	srv := wire.NewServerWith(wire.Options{Logger: logger, Metrics: telemetry.Default})
+	logger.Info("listening", "addr", l.Addr().String())
+
+	if *httpAddr != "" {
+		go serveHTTP(*httpAddr, srv.Registry(), logger)
+	}
+
 	if err := srv.Serve(l); err != nil {
-		log.Fatalf("kfserver: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// serveHTTP exposes the registry at /metrics (Prometheus text) and
+// /debug/vars (JSON). Exposition failures mid-write are connection
+// errors, not server state; they are logged and the connection dropped.
+func serveHTTP(addr string, reg *telemetry.Registry, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			logger.Warn("metrics write failed", "remote", r.RemoteAddr, "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteVars(w); err != nil {
+			logger.Warn("vars write failed", "remote", r.RemoteAddr, "err", err)
+		}
+	})
+	logger.Info("http listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("http serve failed", "addr", addr, "err", err)
 	}
 }

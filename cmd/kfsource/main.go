@@ -15,7 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"kalmanstream/internal/predictor"
@@ -33,6 +34,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	interval := flag.Duration("interval", 0, "real-time delay between ticks")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).
+		With("component", "kfsource", "stream", *id)
+	slog.SetDefault(logger)
 
 	var gen stream.Stream
 	var spec predictor.Spec
@@ -58,14 +63,15 @@ func main() {
 		spec = predictor.Spec{Kind: predictor.KindKalman,
 			Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 1, R: 0.01}}
 	default:
-		log.Fatalf("kfsource: unknown stream kind %q", *kind)
+		logger.Error("unknown stream kind", "kind", *kind)
+		os.Exit(2)
 	}
 
 	client, err := wire.Dial(*addr)
 	if err != nil {
-		log.Fatalf("kfsource: %v", err)
+		logger.Error("dial failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	defer client.Close()
 
 	ns, err := wire.NewNetworkedSource(client, source.Config{
 		StreamID: *id,
@@ -73,22 +79,31 @@ func main() {
 		Delta:    *delta,
 	})
 	if err != nil {
-		log.Fatalf("kfsource: %v", err)
+		logger.Error("registration failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("kfsource: registered %q (kind %s, δ=%g) at %s", *id, *kind, *delta, *addr)
+	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr)
 
+	// Mid-stream transport errors end the run gracefully rather than
+	// aborting: stop observing, flush a final stats line, close the
+	// connection, and report the failure through the exit code.
+	failed := false
 	for {
 		p, ok := gen.Next()
 		if !ok {
 			break
 		}
 		if _, err := ns.Observe(p.Tick, p.Value); err != nil {
-			log.Fatalf("kfsource: tick %d: %v", p.Tick, err)
+			logger.Error("send failed, shutting down", "tick", p.Tick, "err", err)
+			failed = true
+			break
 		}
 		if p.Tick%1000 == 999 {
 			ans, err := client.Query(*id, p.Tick)
 			if err != nil {
-				log.Fatalf("kfsource: query: %v", err)
+				logger.Error("query failed, shutting down", "tick", p.Tick, "err", err)
+				failed = true
+				break
 			}
 			st := ns.Stats()
 			fmt.Printf("tick %6d  measured %10.4f  server answers %10.4f ± %.3g  msgs %d/%d (%.1f%% suppressed)\n",
@@ -102,4 +117,10 @@ func main() {
 	st := ns.Stats()
 	fmt.Printf("done: %d ticks, %d corrections sent, %.1f%% suppressed\n",
 		st.Ticks, st.Sent, 100*st.SuppressionRatio())
+	if err := client.Close(); err != nil {
+		logger.Warn("close failed", "err", err)
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
 )
 
 func main() {
@@ -57,7 +58,10 @@ func usage() {
 
 commands:
   list                              list experiments
-  run [-ticks N] [-seed S] IDS...   run experiments ("all" for the suite)
+  run [-ticks N] [-seed S] [-stats] IDS...
+                                    run experiments ("all" for the suite);
+                                    -stats prints a runtime telemetry table
+                                    after each experiment
   gen -kind KIND [-n N] [-seed S] [-out FILE]
                                     generate a trace as CSV
   replay -file trace.csv [-method M] [-deltamult K | -delta D] [-norm linf|l2]
@@ -82,6 +86,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	ticks := fs.Int64("ticks", 50000, "stream length per experiment")
 	seed := fs.Int64("seed", 42, "generator seed")
+	stats := fs.Bool("stats", false, "print a runtime telemetry table after each experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,13 +108,44 @@ func cmdRun(args []string) error {
 	}
 	cfg := harness.Config{Ticks: *ticks, Seed: *seed}
 	for _, e := range experiments {
+		if *stats {
+			// Scope the default registry to this experiment so the table
+			// reflects it alone. Streams sharing an ID across an
+			// experiment's methods aggregate into one series.
+			telemetry.Default.Reset()
+		}
 		res, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(res.String())
+		if *stats {
+			fmt.Println(telemetryTable(e.ID).String())
+		}
 	}
 	return nil
+}
+
+// telemetryTable renders the default registry's current state as a
+// metrics.Table: one row per series, with histogram rows summarized by
+// count, mean, and tail quantiles.
+func telemetryTable(id string) *metrics.Table {
+	tb := metrics.NewTable(fmt.Sprintf("%s telemetry (runtime counters)", id),
+		"metric", "labels", "value", "count", "mean", "p95")
+	for _, s := range telemetry.Default.Snapshot() {
+		switch s.Kind {
+		case telemetry.KindHistogram:
+			tb.AddRow(s.Name, s.Labels, "", metrics.I(s.Count), metrics.F(s.Mean()), metrics.F(s.Quantile(0.95)))
+		case telemetry.KindGauge:
+			tb.AddRow(s.Name, s.Labels, metrics.F(s.Value), "", "", "")
+		default:
+			tb.AddRow(s.Name, s.Labels, metrics.I(int64(s.Value)), "", "", "")
+		}
+	}
+	if tb.Rows() == 0 {
+		tb.AddNote("no runtime telemetry recorded")
+	}
+	return tb
 }
 
 func cmdGen(args []string) error {

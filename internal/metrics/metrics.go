@@ -106,8 +106,14 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a row; short rows are padded with empty cells.
+// AddRow appends a row; short rows are padded with empty cells. Extra
+// cells beyond the header count are a programming error (previously they
+// were silently dropped, hiding the data) and panic.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("metrics: AddRow got %d cells for %d columns (table %q)",
+			len(cells), len(t.headers), t.title))
+	}
 	row := make([]string, len(t.headers))
 	copy(row, cells)
 	t.rows = append(t.rows, row)

@@ -116,3 +116,19 @@ func TestFormatters(t *testing.T) {
 		t.Fatal("Ratio zero cases")
 	}
 }
+
+func TestAddRowRejectsExtraCells(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "2") // exact width is fine
+	tb.AddRow("1")      // short rows pad
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("extra cells silently accepted")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "3 cells for 2 columns") {
+			t.Fatalf("panic message %v lacks cell/column counts", r)
+		}
+	}()
+	tb.AddRow("1", "2", "3")
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"kalmanstream/internal/telemetry"
 )
 
 // MessageKind discriminates protocol messages.
@@ -150,6 +152,11 @@ type LinkConfig struct {
 	DropProb float64
 	// Seed seeds the drop RNG; ignored when DropProb is zero.
 	Seed int64
+	// Name labels the link's telemetry series (default "link").
+	Name string
+	// Telemetry receives the link's traffic counters; nil means
+	// telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 // Link is a unidirectional channel that counts all traffic and delivers
@@ -163,6 +170,11 @@ type Link struct {
 	queue  []queued
 	nowLag int
 	stats  Stats
+
+	telMsgs    *telemetry.Counter
+	telBytes   *telemetry.Counter
+	telDropped *telemetry.Counter
+	telPending *telemetry.Gauge
 }
 
 type queued struct {
@@ -176,6 +188,18 @@ func NewLink(recv func(*Message), cfg LinkConfig) *Link {
 	if cfg.DropProb > 0 {
 		l.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "link"
+	}
+	l.telMsgs = reg.Counter("link_messages_total", "link", name)
+	l.telBytes = reg.Counter("link_bytes_total", "link", name)
+	l.telDropped = reg.Counter("link_dropped_total", "link", name)
+	l.telPending = reg.Gauge("link_pending", "link", name)
 	return l
 }
 
@@ -184,14 +208,18 @@ func NewLink(recv func(*Message), cfg LinkConfig) *Link {
 func (l *Link) Send(m *Message) {
 	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
 		l.stats.count(m, false)
+		l.telDropped.Inc()
 		return
 	}
 	l.stats.count(m, true)
+	l.telMsgs.Inc()
+	l.telBytes.Add(int64(m.EncodedSize()))
 	if l.cfg.DelayTicks <= 0 {
 		l.recv(m)
 		return
 	}
 	l.queue = append(l.queue, queued{deliverAt: l.nowLag + l.cfg.DelayTicks, msg: m})
+	l.telPending.Set(float64(len(l.queue)))
 }
 
 // Tick advances simulated time by one step, delivering matured messages
@@ -208,6 +236,7 @@ func (l *Link) Tick() {
 		}
 	}
 	l.queue = l.queue[:n]
+	l.telPending.Set(float64(len(l.queue)))
 }
 
 // Stats returns a snapshot of the traffic counters.

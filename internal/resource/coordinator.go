@@ -6,6 +6,7 @@ import (
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/source"
+	"kalmanstream/internal/telemetry"
 )
 
 // ManagedOptions configures one stream under budget management.
@@ -37,6 +38,11 @@ type Coordinator struct {
 	streams       []*managed
 	tick          int64
 	rounds        int64
+
+	telRounds       *telemetry.Counter
+	telDeltaUpdates *telemetry.Counter
+	telUtilization  *telemetry.Gauge
+	telBudget       *telemetry.Gauge
 }
 
 // CoordinatorConfig configures a Coordinator.
@@ -53,6 +59,9 @@ type CoordinatorConfig struct {
 	// apply silently (still correct, but the reverse-path traffic goes
 	// unaccounted).
 	Downlink func(*netsim.Message)
+	// Telemetry receives reallocation counters and the budget-utilization
+	// gauge; nil means telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 // NewCoordinator returns a coordinator using alloc over srv.
@@ -72,14 +81,24 @@ func NewCoordinator(alloc Allocator, srv *server.Server, cfg CoordinatorConfig) 
 	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
 		cfg.Smoothing = 0.4
 	}
-	return &Coordinator{
-		alloc:         alloc,
-		srv:           srv,
-		budgetPerTick: cfg.BudgetPerTick,
-		period:        cfg.Period,
-		smoothing:     cfg.Smoothing,
-		downlink:      cfg.Downlink,
-	}, nil
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	c := &Coordinator{
+		alloc:           alloc,
+		srv:             srv,
+		budgetPerTick:   cfg.BudgetPerTick,
+		period:          cfg.Period,
+		smoothing:       cfg.Smoothing,
+		downlink:        cfg.Downlink,
+		telRounds:       reg.Counter("coordinator_reallocations_total"),
+		telDeltaUpdates: reg.Counter("coordinator_delta_updates_total"),
+		telUtilization:  reg.Gauge("coordinator_budget_utilization"),
+		telBudget:       reg.Gauge("coordinator_budget_per_tick"),
+	}
+	c.telBudget.Set(cfg.BudgetPerTick)
+	return c, nil
 }
 
 // Manage places a source under budget management. The stream must already
@@ -116,6 +135,7 @@ func (c *Coordinator) Tick() error {
 
 func (c *Coordinator) reallocate() error {
 	windows := make([]StreamWindow, len(c.streams))
+	var windowMsgs int64
 	for i, m := range c.streams {
 		sent := m.src.Stats().Sent
 		w := StreamWindow{
@@ -131,7 +151,11 @@ func (c *Coordinator) reallocate() error {
 		m.cost = EstimateCost(m.cost, w, c.smoothing)
 		w.CostEstimate = m.cost
 		windows[i] = w
+		windowMsgs += w.Msgs
 	}
+	// Utilization of the window that just closed: observed messages per
+	// tick over the budgeted rate.
+	c.telUtilization.Set(float64(windowMsgs) / (c.budgetPerTick * float64(c.period)))
 	deltas := c.alloc.Allocate(windows, c.budgetPerTick)
 	if len(deltas) != len(windows) {
 		return fmt.Errorf("resource: allocator %s returned %d deltas for %d streams",
@@ -148,6 +172,7 @@ func (c *Coordinator) reallocate() error {
 		if err := c.srv.SetDelta(m.src.StreamID(), newDelta); err != nil {
 			return err
 		}
+		c.telDeltaUpdates.Inc()
 		if c.downlink != nil {
 			c.downlink(&netsim.Message{
 				Kind:     netsim.KindDeltaUpdate,
@@ -158,6 +183,7 @@ func (c *Coordinator) reallocate() error {
 		}
 	}
 	c.rounds++
+	c.telRounds.Inc()
 	return nil
 }
 

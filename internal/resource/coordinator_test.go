@@ -9,6 +9,7 @@ import (
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
 )
 
 // budgetFixture builds a server with n random-walk sources of differing
@@ -199,5 +200,67 @@ func TestServerAndSourceDeltasStayInSync(t *testing.T) {
 		if srvDelta != src.Delta() {
 			t.Fatalf("tick %d: server δ %v != source δ %v", p.Tick, srvDelta, src.Delta())
 		}
+	}
+}
+
+// TestCoordinatorTelemetry checks the coordinator's runtime counters:
+// reallocation rounds, delta updates, and a sane budget-utilization
+// gauge for the last closed window.
+func TestCoordinatorTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	srv := server.New()
+	coord, err := NewCoordinator(FairShare{}, srv, CoordinatorConfig{
+		BudgetPerTick: 0.05,
+		Period:        100,
+		Telemetry:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := predictor.Spec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 1, R: 0.01}}
+	if err := srv.Register("s", spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.New(source.Config{StreamID: "s", Spec: spec, Delta: 1}, func(m *netsim.Message) {
+		if err := srv.Apply(m); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Manage(src, ManagedOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewRandomWalk(7, 0, 2, 0.05, 1000)
+	for tick := int64(0); tick < 1000; tick++ {
+		srv.Tick()
+		p, ok := gen.Next()
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if _, err := src.Observe(p.Tick, p.Value); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("coordinator_reallocations_total").Value(); got != coord.Rounds() {
+		t.Fatalf("reallocations counter %d, Rounds() %d", got, coord.Rounds())
+	}
+	if coord.Rounds() != 10 {
+		t.Fatalf("rounds = %d, want 10", coord.Rounds())
+	}
+	if got := reg.Gauge("coordinator_budget_per_tick").Value(); got != 0.05 {
+		t.Fatalf("budget gauge = %g", got)
+	}
+	util := reg.Gauge("coordinator_budget_utilization").Value()
+	if util < 0 || util > 25 {
+		t.Fatalf("utilization gauge %g out of plausible range", util)
+	}
+	if reg.Counter("coordinator_delta_updates_total").Value() == 0 {
+		t.Fatal("no delta updates counted for a volatile over-budget stream")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
+	"kalmanstream/internal/telemetry"
 )
 
 // Sentinel errors, matchable with errors.Is.
@@ -65,16 +66,29 @@ type streamState struct {
 	lastValueTick int64
 	// history, when non-nil, archives settled per-tick answers.
 	history *history
+
+	// telemetry handles; nil unless the hosting server has a registry.
+	telQueries   *telemetry.Counter
+	telStaleness *telemetry.Histogram
 }
 
 // Server hosts predictor replicas for any number of streams.
 type Server struct {
 	streams map[string]*streamState
+	tel     *telemetry.Registry
 }
 
 // New returns an empty server.
 func New() *Server {
 	return &Server{streams: make(map[string]*streamState)}
+}
+
+// SetTelemetry attaches a registry; point queries on streams registered
+// afterwards record per-stream query counts and answer staleness. The
+// single-process evaluation harness leaves this unset, keeping its hot
+// loop untouched; the wire server and cmd/kfserver always set it.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	s.tel = reg
 }
 
 // Register creates the server-side replica for a stream. The spec and the
@@ -94,7 +108,12 @@ func (s *Server) Register(id string, spec predictor.Spec, delta float64) error {
 	if err != nil {
 		return fmt.Errorf("server: building replica for %s: %w", id, err)
 	}
-	s.streams[id] = &streamState{id: id, replica: replica, delta: delta, lastCorr: -1, lastValueTick: -1}
+	st := &streamState{id: id, replica: replica, delta: delta, lastCorr: -1, lastValueTick: -1}
+	if s.tel != nil {
+		st.telQueries = s.tel.Counter("server_queries_total", "stream", id)
+		st.telStaleness = s.tel.Histogram("query_staleness_ticks", telemetry.StalenessBuckets, "stream", id)
+	}
+	s.streams[id] = st
 	return nil
 }
 
@@ -186,6 +205,12 @@ func (s *Server) Value(id string) (estimate []float64, bound float64, err error)
 	st, ok := s.streams[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	if st.telQueries != nil {
+		st.telQueries.Inc()
+		if stale := st.tick - 1 - st.lastCorr; stale >= 0 {
+			st.telStaleness.Observe(float64(stale))
+		}
 	}
 	if st.lastValueTick == st.tick && st.lastValue != nil {
 		out := make([]float64, len(st.lastValue))

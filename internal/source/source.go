@@ -18,6 +18,7 @@ import (
 	"kalmanstream/internal/mat"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/telemetry"
 )
 
 // Norm selects the deviation norm used by the precision gate.
@@ -88,6 +89,10 @@ type Config struct {
 	// resyncs are pure (bytes) overhead; on lossy links they bound how
 	// long a divergence can persist.
 	ResyncEvery int64
+	// Telemetry receives the gate's per-stream runtime counters
+	// (corrections_sent_total, corrections_suppressed_total, …); nil means
+	// telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 // Stats counts the gate's decisions.
@@ -119,6 +124,15 @@ type Source struct {
 
 	run   int64 // consecutive suppressed ticks
 	stats Stats
+
+	// Telemetry handles, resolved once at construction so the per-tick
+	// cost is a few atomic adds.
+	telSent       *telemetry.Counter
+	telSuppressed *telemetry.Counter
+	telHeartbeats *telemetry.Counter
+	telResyncs    *telemetry.Counter
+	telDeviation  *telemetry.Histogram
+	telDelta      *telemetry.Gauge
 }
 
 // New constructs a source whose corrections are transmitted via send.
@@ -136,7 +150,23 @@ func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
 	if err != nil {
 		return nil, fmt.Errorf("source: building replica: %w", err)
 	}
-	return &Source{cfg: cfg, replica: replica, send: send}, nil
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	s := &Source{
+		cfg:           cfg,
+		replica:       replica,
+		send:          send,
+		telSent:       reg.Counter("corrections_sent_total", "stream", cfg.StreamID),
+		telSuppressed: reg.Counter("corrections_suppressed_total", "stream", cfg.StreamID),
+		telHeartbeats: reg.Counter("heartbeats_total", "stream", cfg.StreamID),
+		telResyncs:    reg.Counter("resyncs_total", "stream", cfg.StreamID),
+		telDeviation:  reg.Histogram("gate_deviation_ratio", telemetry.RatioBuckets, "stream", cfg.StreamID),
+		telDelta:      reg.Gauge("stream_delta", "stream", cfg.StreamID),
+	}
+	s.telDelta.Set(cfg.Delta)
+	return s, nil
 }
 
 // Observe processes the measurement for one tick: advances the replica,
@@ -151,11 +181,15 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 
 	pred := s.replica.Predict()
 	dev := s.cfg.DeviationNorm.Deviation(z, pred)
+	if s.cfg.Delta > 0 {
+		s.telDeviation.Observe(dev / s.cfg.Delta)
+	}
 
 	heartbeatDue := s.cfg.HeartbeatEvery > 0 && s.run >= s.cfg.HeartbeatEvery
 	if dev <= s.cfg.Delta && !heartbeatDue {
 		s.run++
 		s.stats.Suppressed++
+		s.telSuppressed.Inc()
 		if dev > s.stats.MaxSuppressedDeviation {
 			s.stats.MaxSuppressedDeviation = dev
 		}
@@ -179,12 +213,15 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 		msg.Kind = netsim.KindResync
 		msg.Value = append(mat.VecClone(z), snap...)
 		s.stats.Resyncs++
+		s.telResyncs.Inc()
 	}
 	s.send(msg)
 	s.run = 0
 	s.stats.Sent++
+	s.telSent.Inc()
 	if heartbeatDue && dev <= s.cfg.Delta {
 		s.stats.Heartbeats++
+		s.telHeartbeats.Inc()
 	}
 	return true, nil
 }
@@ -196,6 +233,7 @@ func (s *Source) SetDelta(delta float64) error {
 		return fmt.Errorf("source %s: negative delta %g", s.cfg.StreamID, delta)
 	}
 	s.cfg.Delta = delta
+	s.telDelta.Set(delta)
 	return nil
 }
 

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUse hammers every metric type from many goroutines while
+// snapshots and expositions run concurrently. Its real assertion is the
+// race detector (go test -race, run by the check target); the count
+// checks at the end catch lost updates.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+
+	// Writers: each worker updates a shared series and a private one.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := r.Counter("private_total", "worker", string(rune('a'+w)))
+			for i := 0; i < perW; i++ {
+				r.Counter("shared_total").Inc()
+				own.Inc()
+				r.Gauge("depth", "worker", string(rune('a'+w))).Set(float64(i))
+				r.Histogram("obs", []float64{0.25, 0.5, 0.75}, "worker", string(rune('a'+w))).
+					Observe(float64(i%100) / 100)
+			}
+		}(w)
+	}
+
+	// Readers: snapshot and render while writes are in flight.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Snapshot()
+				_ = r.WritePrometheus(io.Discard)
+				_ = r.WriteVars(io.Discard)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Counter("shared_total").Value(); got != workers*perW {
+		t.Fatalf("shared counter = %d, want %d (lost updates)", got, workers*perW)
+	}
+	for w := 0; w < workers; w++ {
+		h := r.Histogram("obs", nil, "worker", string(rune('a'+w)))
+		if h.Count() != perW {
+			t.Fatalf("worker %d histogram count = %d, want %d", w, h.Count(), perW)
+		}
+	}
+}

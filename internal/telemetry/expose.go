@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float the way the Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// labelsWith appends one more label to an already-rendered label set —
+// used for histogram `le` labels.
+func labelsWith(labels, key, value string) string {
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): # HELP/# TYPE headers per family, one line per
+// series, and the _bucket/_sum/_count expansion for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	helps := make(map[string]string)
+	r.mu.RLock()
+	for name, f := range r.families {
+		if f.help != "" {
+			helps[name] = f.help
+		}
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	lastName := ""
+	for _, s := range samples {
+		if s.Name != lastName {
+			if h := helps[s.Name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+			lastName = s.Name
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, bk := range s.Buckets {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					s.Name, labelsWith(s.Labels, "le", formatValue(bk.UpperBound)), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, s.Labels, formatValue(s.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, s.Labels, s.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", s.Name, s.Labels, formatValue(s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// histVars is the JSON shape of a histogram in WriteVars output.
+type histVars struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// WriteVars renders every metric as one JSON object keyed by
+// "name{labels}" — an expvar-style view for /debug/vars.
+func (r *Registry) WriteVars(w io.Writer) error {
+	out := make(map[string]any)
+	for _, s := range r.Snapshot() {
+		key := s.Name + s.Labels
+		switch s.Kind {
+		case KindHistogram:
+			buckets := make(map[string]int64, len(s.Buckets))
+			for _, bk := range s.Buckets {
+				buckets[formatValue(bk.UpperBound)] = bk.Count
+			}
+			out[key] = histVars{Count: s.Count, Sum: s.Sum, Mean: s.Mean(), Buckets: buckets}
+		default:
+			out[key] = s.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,419 @@
+// Package telemetry is the runtime instrumentation layer: named atomic
+// counters, gauges, and fixed-bucket histograms in a registry, with a
+// consistent Snapshot API and Prometheus text exposition (see expose.go).
+//
+// It is deliberately separate from internal/metrics, which does offline
+// *evaluation* accounting (RMSE against ground truth, bound violations)
+// for regenerated tables. Telemetry answers a different question — "what
+// is the running system doing right now?" — and therefore must be cheap
+// enough for hot paths (a handful of atomic operations per event), safe
+// for concurrent use, and readable while the system runs. Like the rest
+// of the repo it is stdlib-only.
+//
+// Usage: resolve handles once, then update them on the hot path.
+//
+//	sent := telemetry.Default.Counter("corrections_sent_total", "stream", id)
+//	...
+//	sent.Inc()
+//
+// Handles stay valid after Reset, but a registry forgets detached handles:
+// Reset is for run-scoped accounting (streamkf run -stats), not for live
+// servers.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric types.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(k))
+	}
+}
+
+// Counter is a monotonically increasing integer, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0; negative deltas are a programming error and
+// panic, since a decreasing counter corrupts every rate computed from it).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("telemetry: Counter.Add(%d): counters only go up", n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (Prometheus
+// convention: bucket i counts observations ≤ bound i, with an implicit
+// +Inf bucket). Observe is a bucket search plus three atomic updates; the
+// sum is accumulated via CAS so concurrent observers never lose updates.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; implicit +Inf after the last
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // smallest i with bounds[i] ≥ v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the inclusive upper bound (+Inf for the last bucket).
+	UpperBound float64
+	// Count is the number of observations ≤ UpperBound (cumulative,
+	// Prometheus-style).
+	Count int64
+}
+
+// LinearBuckets returns n bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start·factor, …
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Default bucket layouts for the metrics this repo emits.
+var (
+	// LatencyBuckets covers query latencies in seconds, 10µs–1s.
+	LatencyBuckets = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1}
+	// StalenessBuckets covers server staleness in ticks.
+	StalenessBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	// RatioBuckets covers deviation/δ ratios; suppressed ticks land ≤ 1.
+	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1, 1.5, 2, 5}
+)
+
+// series is one (name, labels) time series.
+type series struct {
+	labels string // canonical rendered label set, `{k="v",…}` or ""
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups every series sharing a metric name; all series in a
+// family have the same kind (and bucket layout, for histograms).
+type family struct {
+	name   string
+	kind   Kind
+	help   string
+	bounds []float64
+	series map[string]*series
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; call New. Lookup methods are get-or-create and safe for
+// concurrent use; the returned handles are lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry. Instrumented packages fall back
+// to it when no explicit registry is configured, so a binary gets a
+// coherent picture without plumbing.
+var Default = New()
+
+// renderLabels canonicalizes alternating key, value pairs into the
+// Prometheus label form `{k="v",…}` with keys sorted.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label pairs %q", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the series for (name, labels), creating family and
+// series as needed and enforcing kind consistency.
+func (r *Registry) lookup(name string, kind Kind, bounds []float64, labelPairs []string) *series {
+	labels := renderLabels(labelPairs)
+	r.mu.RLock()
+	f := r.families[name]
+	var s *series
+	if f != nil {
+		s = f.series[labels]
+	}
+	r.mu.RUnlock()
+	if s != nil {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+		}
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f = r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s = f.series[labels]
+	if s == nil {
+		s = &series{labels: labels}
+		switch kind {
+		case KindCounter:
+			s.ctr = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			s.hist = newHistogram(f.bounds)
+		}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name and the given label pairs
+// ("key", "value", …), creating it on first use.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	return r.lookup(name, KindCounter, nil, labelPairs).ctr
+}
+
+// Gauge returns the gauge for name and label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	return r.lookup(name, KindGauge, nil, labelPairs).gauge
+}
+
+// Histogram returns the histogram for name and label pairs. The bucket
+// bounds are fixed by the first call for a name; later calls reuse them.
+func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
+	return r.lookup(name, KindHistogram, bounds, labelPairs).hist
+}
+
+// Help attaches help text rendered in the Prometheus exposition.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = text
+	}
+}
+
+// Reset forgets every metric. Live handles keep working but are no
+// longer visible in snapshots; intended for run-scoped accounting.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.families = make(map[string]*family)
+}
+
+// Sample is one time series in a snapshot.
+type Sample struct {
+	Name string
+	// Labels is the canonical rendered label set, `{k="v",…}` or "".
+	Labels string
+	Kind   Kind
+	// Value is the counter or gauge value (0 for histograms).
+	Value float64
+	// Count and Sum summarize a histogram (0 otherwise).
+	Count int64
+	Sum   float64
+	// Buckets holds the cumulative histogram buckets (nil otherwise).
+	Buckets []Bucket
+}
+
+// Mean returns a histogram sample's average observation (0 when empty).
+func (s Sample) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of a histogram sample by
+// linear interpolation within the containing bucket — the standard
+// fixed-bucket estimate, exact only at bucket bounds.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	lo := 0.0
+	var below int64
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return lo
+			}
+			in := b.Count - below
+			if in == 0 {
+				return b.UpperBound
+			}
+			return lo + (b.UpperBound-lo)*(rank-float64(below))/float64(in)
+		}
+		below = b.Count
+		if !math.IsInf(b.UpperBound, 1) {
+			lo = b.UpperBound
+		}
+	}
+	return lo
+}
+
+// Snapshot returns a point-in-time copy of every metric, sorted by name
+// then label set. Concurrent updates during the walk may be partially
+// included (each individual metric is read atomically).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Sample, 0, len(r.families))
+	for _, f := range r.families {
+		for _, s := range f.series {
+			smp := Sample{Name: f.name, Labels: s.labels, Kind: f.kind}
+			switch f.kind {
+			case KindCounter:
+				smp.Value = float64(s.ctr.Value())
+			case KindGauge:
+				smp.Value = s.gauge.Value()
+			case KindHistogram:
+				h := s.hist
+				smp.Count = h.Count()
+				smp.Sum = h.Sum()
+				smp.Buckets = make([]Bucket, len(h.buckets))
+				var cum int64
+				for i := range h.buckets {
+					cum += h.buckets[i].Load()
+					ub := math.Inf(1)
+					if i < len(h.bounds) {
+						ub = h.bounds[i]
+					}
+					smp.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+				}
+			}
+			out = append(out, smp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}

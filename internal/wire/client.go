@@ -108,6 +108,22 @@ func (c *Client) Query(id string, tick int64) (AnswerPayload, error) {
 	return ans, nil
 }
 
+// Metrics fetches the server's telemetry snapshot as Prometheus text —
+// the wire-native way to observe a server with no HTTP listener.
+func (c *Client) Metrics() (string, error) {
+	if err := WriteFrame(c.bw, FrameMetrics, nil); err != nil {
+		return "", err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return "", err
+	}
+	payload, err := c.expect(FrameMetricsReply)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
+
 // NetworkedSource binds a local precision gate to a remote server: the
 // gate's corrections go out over the client connection.
 type NetworkedSource struct {

@@ -38,7 +38,38 @@ const (
 	FrameOK
 	// FrameError carries a UTF-8 error string (server → client).
 	FrameError
+	// FrameMetrics requests a telemetry snapshot; empty payload
+	// (client → server).
+	FrameMetrics
+	// FrameMetricsReply carries the snapshot as Prometheus text
+	// exposition (server → client).
+	FrameMetricsReply
 )
+
+// FrameName returns a short human-readable name for a frame type, used
+// as a telemetry label and in logs.
+func FrameName(typ uint8) string {
+	switch typ {
+	case FrameRegister:
+		return "register"
+	case FrameMessage:
+		return "message"
+	case FrameQuery:
+		return "query"
+	case FrameAnswer:
+		return "answer"
+	case FrameOK:
+		return "ok"
+	case FrameError:
+		return "error"
+	case FrameMetrics:
+		return "metrics"
+	case FrameMetricsReply:
+		return "metrics-reply"
+	default:
+		return fmt.Sprintf("unknown(%d)", typ)
+	}
+}
 
 // MaxFrameSize bounds a frame to keep a malicious or corrupted peer from
 // forcing a giant allocation.

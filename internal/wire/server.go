@@ -1,17 +1,21 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/server"
+	"kalmanstream/internal/telemetry"
 )
 
 // RegisterPayload announces a stream to the server; the source and server
@@ -36,6 +40,13 @@ type AnswerPayload struct {
 	Bound    float64   `json:"bound"`
 }
 
+// streamTel caches a stream's telemetry handles so the per-message cost
+// is a few atomic adds rather than registry lookups.
+type streamTel struct {
+	sent       *telemetry.Counter
+	suppressed *telemetry.Counter
+}
+
 // Server accepts source and query connections and hosts the replica
 // cache. Unlike the single-threaded core.System, it is safe for
 // concurrent connections: one mutex serializes replica access (state
@@ -44,18 +55,86 @@ type Server struct {
 	mu       sync.Mutex
 	srv      *server.Server
 	advanced map[string]int64 // ticks each replica has been stepped through
+	streams  map[string]*streamTel
 
-	// Logf receives connection-level diagnostics; defaults to log.Printf.
+	// Logger receives structured connection diagnostics; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// Logf is a legacy printf-style hook; when set it takes precedence
+	// over Logger.
+	//
+	// Deprecated: set Logger instead.
 	Logf func(format string, args ...any)
+
+	reg     *telemetry.Registry
+	connSeq atomic.Int64
+
+	telConns       *telemetry.Counter
+	telConnsActive *telemetry.Gauge
+	telLatency     *telemetry.Histogram
+	telErrors      *telemetry.Counter
 }
 
-// NewServer returns an empty wire server.
-func NewServer() *Server {
-	return &Server{
-		srv:      server.New(),
-		advanced: make(map[string]int64),
-		Logf:     log.Printf,
+// Options configures a wire server beyond the defaults.
+type Options struct {
+	// Logger receives structured diagnostics (default slog.Default()).
+	Logger *slog.Logger
+	// Metrics is the telemetry registry (default telemetry.Default).
+	Metrics *telemetry.Registry
+}
+
+// NewServer returns an empty wire server instrumented against
+// telemetry.Default.
+func NewServer() *Server { return NewServerWith(Options{}) }
+
+// NewServerWith returns an empty wire server with explicit observability
+// wiring (tests use a private registry so assertions don't race other
+// tests sharing the default one).
+func NewServerWith(opts Options) *Server {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default
 	}
+	core := server.New()
+	core.SetTelemetry(reg)
+	s := &Server{
+		srv:            core,
+		advanced:       make(map[string]int64),
+		streams:        make(map[string]*streamTel),
+		Logger:         opts.Logger,
+		reg:            reg,
+		telConns:       reg.Counter("wire_connections_total"),
+		telConnsActive: reg.Gauge("wire_connections_active"),
+		telLatency:     reg.Histogram("query_latency_seconds", telemetry.LatencyBuckets),
+		telErrors:      reg.Counter("wire_errors_total"),
+	}
+	reg.Help("corrections_sent_total", "corrections applied per stream")
+	reg.Help("corrections_suppressed_total", "replica ticks advanced without a correction, per stream")
+	reg.Help("wire_bytes_total", "bytes on the wire by direction")
+	reg.Help("query_latency_seconds", "wire query handling latency")
+	return s
+}
+
+// Registry returns the server's telemetry registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// logw emits one structured diagnostic record at Warn level, routing
+// through the legacy Logf hook when set.
+func (s *Server) logw(msg string, args ...any) {
+	if s.Logf != nil {
+		var b bytes.Buffer
+		b.WriteString(msg)
+		for i := 0; i+1 < len(args); i += 2 {
+			fmt.Fprintf(&b, " %v=%v", args[i], args[i+1])
+		}
+		s.Logf("%s", b.String())
+		return
+	}
+	l := s.Logger
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Warn(msg, args...)
 }
 
 // MaxAdvancePerMessage bounds how far a single correction or query may
@@ -65,24 +144,25 @@ func NewServer() *Server {
 const MaxAdvancePerMessage = 10_000_000
 
 // advanceTo rolls the stream's replica forward so that ticks [0, tick]
-// have been stepped. Caller holds mu.
-func (s *Server) advanceTo(id string, tick int64) error {
+// have been stepped, reporting how many steps that took. Caller holds mu.
+func (s *Server) advanceTo(id string, tick int64) (steps int64, err error) {
 	cur, ok := s.advanced[id]
 	if !ok {
-		return fmt.Errorf("wire: unknown stream %q", id)
+		return 0, fmt.Errorf("wire: unknown stream %q", id)
 	}
 	if tick+1-cur > MaxAdvancePerMessage {
-		return fmt.Errorf("wire: tick %d would advance stream %q by %d steps (limit %d)",
+		return 0, fmt.Errorf("wire: tick %d would advance stream %q by %d steps (limit %d)",
 			tick, id, tick+1-cur, int64(MaxAdvancePerMessage))
 	}
 	for cur < tick+1 {
 		if err := s.srv.TickStream(id); err != nil {
-			return err
+			return steps, err
 		}
 		cur++
+		steps++
 	}
 	s.advanced[id] = cur
-	return nil
+	return steps, nil
 }
 
 // Register creates a stream replica (exposed for in-process use and
@@ -94,6 +174,11 @@ func (s *Server) Register(p RegisterPayload) error {
 		return err
 	}
 	s.advanced[p.ID] = 0
+	s.streams[p.ID] = &streamTel{
+		sent:       s.reg.Counter("corrections_sent_total", "stream", p.ID),
+		suppressed: s.reg.Counter("corrections_suppressed_total", "stream", p.ID),
+	}
+	s.reg.Gauge("stream_delta", "stream", p.ID).Set(p.Delta)
 	return nil
 }
 
@@ -102,24 +187,52 @@ func (s *Server) Register(p RegisterPayload) error {
 func (s *Server) Apply(m *netsim.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.advanceTo(m.StreamID, m.Tick); err != nil {
+	steps, err := s.advanceTo(m.StreamID, m.Tick)
+	if err != nil {
 		return err
 	}
-	return s.srv.Apply(m)
+	if err := s.srv.Apply(m); err != nil {
+		return err
+	}
+	if t := s.streams[m.StreamID]; t != nil && m.Kind != netsim.KindHeartbeat {
+		// The arrival tick carried a correction; the ticks rolled through
+		// on the way there were suppressed by the source's gate.
+		t.sent.Inc()
+		if steps > 1 {
+			t.suppressed.Add(steps - 1)
+		}
+	}
+	return nil
 }
 
 // Query answers a stream's value as of the given tick.
 func (s *Server) Query(q QueryPayload) (AnswerPayload, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.advanceTo(q.ID, q.Tick); err != nil {
+	steps, err := s.advanceTo(q.ID, q.Tick)
+	if err != nil {
 		return AnswerPayload{}, err
+	}
+	if t := s.streams[q.ID]; t != nil && steps > 0 {
+		// Ticks a query rolls through produced no correction — the gate
+		// suppressed them (or their corrections are still in flight).
+		t.suppressed.Add(steps)
 	}
 	est, bound, err := s.srv.Value(q.ID)
 	if err != nil {
 		return AnswerPayload{}, err
 	}
 	return AnswerPayload{ID: q.ID, Tick: q.Tick, Estimate: est, Bound: bound}, nil
+}
+
+// MetricsText renders the server's telemetry registry in Prometheus text
+// form (also served over the wire via FrameMetrics).
+func (s *Server) MetricsText() ([]byte, error) {
+	var b bytes.Buffer
+	if err := s.reg.WritePrometheus(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
 }
 
 // Serve accepts connections until the listener is closed.
@@ -138,21 +251,44 @@ func (s *Server) Serve(l net.Listener) error {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	connID := s.connSeq.Add(1)
+	s.telConns.Inc()
+	s.telConnsActive.Add(1)
+	defer s.telConnsActive.Add(-1)
+
+	bytesIn := s.reg.Counter("wire_bytes_total", "direction", "in")
+	framesIn := s.reg.Counter("wire_frames_total", "direction", "in")
 	for {
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
-				s.Logf("wire: %s: read: %v", conn.RemoteAddr(), err)
+				s.telErrors.Inc()
+				s.logw("wire: read failed", "remote", conn.RemoteAddr().String(), "conn", connID, "err", err)
 			}
 			return
 		}
+		// Frame overhead is 4 length bytes + 1 type byte.
+		bytesIn.Add(int64(5 + len(payload)))
+		framesIn.Inc()
 		if err := s.dispatch(conn, typ, payload); err != nil {
-			if writeErr := WriteFrame(conn, FrameError, []byte(err.Error())); writeErr != nil {
-				s.Logf("wire: %s: write error frame: %v", conn.RemoteAddr(), writeErr)
+			s.telErrors.Inc()
+			if writeErr := s.writeFrame(conn, FrameError, []byte(err.Error())); writeErr != nil {
+				s.logw("wire: write error frame failed",
+					"remote", conn.RemoteAddr().String(), "conn", connID, "err", writeErr)
 				return
 			}
 		}
 	}
+}
+
+// writeFrame sends one frame and accounts its bytes.
+func (s *Server) writeFrame(conn net.Conn, typ uint8, payload []byte) error {
+	if err := WriteFrame(conn, typ, payload); err != nil {
+		return err
+	}
+	s.reg.Counter("wire_bytes_total", "direction", "out").Add(int64(5 + len(payload)))
+	s.reg.Counter("wire_frames_total", "direction", "out").Inc()
+	return nil
 }
 
 func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
@@ -165,7 +301,7 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
 		if err := s.Register(p); err != nil {
 			return err
 		}
-		return WriteFrame(conn, FrameOK, nil)
+		return s.writeFrame(conn, FrameOK, nil)
 	case FrameMessage:
 		m, err := netsim.Decode(payload)
 		if err != nil {
@@ -179,7 +315,9 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
 		if err := json.Unmarshal(payload, &q); err != nil {
 			return fmt.Errorf("wire: bad query payload: %w", err)
 		}
+		start := time.Now()
 		ans, err := s.Query(q)
+		s.telLatency.Observe(time.Since(start).Seconds())
 		if err != nil {
 			return err
 		}
@@ -187,8 +325,17 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		return WriteFrame(conn, FrameAnswer, buf)
+		return s.writeFrame(conn, FrameAnswer, buf)
+	case FrameMetrics:
+		text, err := s.MetricsText()
+		if err != nil {
+			return err
+		}
+		if len(text)+1 > MaxFrameSize {
+			return fmt.Errorf("wire: metrics snapshot (%d bytes) exceeds frame limit", len(text))
+		}
+		return s.writeFrame(conn, FrameMetricsReply, text)
 	default:
-		return fmt.Errorf("wire: unexpected frame type %d", typ)
+		return fmt.Errorf("wire: unexpected frame type %d (%s)", typ, FrameName(typ))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -337,5 +338,89 @@ func TestServerApplyUnknownStream(t *testing.T) {
 	err := srv.Apply(&netsim.Message{Kind: netsim.KindCorrection, StreamID: "nope", Tick: 0, Value: []float64{1}})
 	if err == nil {
 		t.Fatal("unknown stream accepted")
+	}
+}
+
+func TestMetricsFrame(t *testing.T) {
+	// A private registry isolates this test's counters from other tests
+	// sharing telemetry.Default.
+	reg := telemetry.New()
+	srv := NewServerWith(Options{Metrics: reg})
+	srv.Logf = t.Logf
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(l); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	defer func() { l.Close(); <-done }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The source gate keeps its counters on telemetry.Default; reg holds
+	// only the server-side view (in production they are separate
+	// processes, and in-process sharing would double-count the shared
+	// per-stream series).
+	ns, err := NewNetworkedSource(c, source.Config{
+		StreamID: "tel-stream", Spec: cvSpec(), Delta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewSine(5, 50, 8, 200, 0, 0.1, 600)
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := ns.Observe(p.Tick, p.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Query("tel-stream", 599); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`corrections_sent_total{stream="tel-stream"}`,
+		`corrections_suppressed_total{stream="tel-stream"}`,
+		`wire_bytes_total{direction="in"}`,
+		`wire_bytes_total{direction="out"}`,
+		"# TYPE query_latency_seconds histogram",
+		"query_latency_seconds_count 1",
+		`server_queries_total{stream="tel-stream"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The server's view of suppression must reconcile with the source's
+	// gate: every advanced tick is either a correction or suppressed.
+	st := ns.Stats()
+	sent := reg.Counter("corrections_sent_total", "stream", "tel-stream").Value()
+	suppressed := reg.Counter("corrections_suppressed_total", "stream", "tel-stream").Value()
+	if sent != st.Sent {
+		t.Fatalf("server counted %d corrections, source sent %d", sent, st.Sent)
+	}
+	if sent+suppressed != st.Ticks {
+		t.Fatalf("sent %d + suppressed %d != %d ticks", sent, suppressed, st.Ticks)
+	}
+
+	// The connection keeps working after a metrics exchange.
+	if _, err := c.Query("tel-stream", 599); err != nil {
+		t.Fatalf("connection dead after metrics frame: %v", err)
 	}
 }
