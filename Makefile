@@ -1,12 +1,18 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: vet, build, and the full test suite under the race detector
-# (telemetry and the wire server are concurrent by design).
+# pass: vet, build, the full test suite under the race detector (the
+# sharded server, parallel tick pipeline, and wire server are concurrent
+# by design), and a short benchmark smoke so benchmark code cannot rot.
 
 GO ?= go
+# Benchmark knobs for `make bench`; BENCH_OUT is the machine-readable
+# perf trajectory recorded from PR 2 onward.
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 3
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race benchsmoke bench
 
-check: vet build race
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +26,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# benchsmoke executes every ProtocolTick benchmark for a fixed 100
+# iterations — seconds, not minutes — purely to keep benchmark code
+# compiling and running.
+benchsmoke:
+	$(GO) test -run=NONE -bench=ProtocolTick -benchtime=100x .
+
+# bench runs the full benchmark suite with allocation stats and records
+# the per-benchmark means (ns/op, B/op, allocs/op, msgs/stream-tick) in
+# $(BENCH_OUT) via cmd/benchjson.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -count=$(BENCHCOUNT) -benchtime=$(BENCHTIME) -run=^$$ . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)

@@ -8,6 +8,7 @@ package kalmanstream_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"kalmanstream/internal/core"
@@ -129,6 +130,28 @@ func BenchmarkMessageEncodeDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkMessageRoundTripPooled is the zero-alloc form of the codec
+// round trip: pooled encode buffer, decode into a warm message. The
+// allocs/op column must read 0 (guarded by TestCorrectionRoundTripZeroAlloc).
+func BenchmarkMessageRoundTripPooled(b *testing.B) {
+	m := &netsim.Message{Kind: netsim.KindCorrection, StreamID: "sensor-01", Tick: 123456, Value: []float64{42.5}}
+	dst := &netsim.Message{StreamID: "sensor-01", Value: make([]float64, 0, 4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := netsim.GetBuffer()
+		buf, err := m.AppendEncode(*bp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := netsim.DecodeInto(dst, buf); err != nil {
+			b.Fatal(err)
+		}
+		*bp = buf[:0]
+		netsim.PutBuffer(bp)
+	}
+}
+
 // BenchmarkProtocolTickKalman measures the full per-tick pipeline cost —
 // source gate + (occasional) correction + server answer — for the Kalman
 // predictor, i.e. the system's sustainable per-stream tick rate.
@@ -147,11 +170,25 @@ func BenchmarkProtocolTickStatic(b *testing.B) {
 // Advance plus an Observe on each of 1000 Kalman-managed streams — the
 // number that sizes a deployment.
 func BenchmarkSystemScale1000Streams(b *testing.B) {
+	benchSystemScale(b, 1)
+}
+
+// BenchmarkSystemScaleParallel is the same workload with the tick
+// pipeline fanned out across GOMAXPROCS workers. On a multi-core runner
+// throughput scales with cores while msgs/stream-tick stays identical to
+// the serial run (parallelism must not change protocol decisions); on a
+// single-core runner it measures the pool's scheduling overhead.
+func BenchmarkSystemScaleParallel(b *testing.B) {
+	benchSystemScale(b, runtime.GOMAXPROCS(0))
+}
+
+func benchSystemScale(b *testing.B, workers int) {
 	const nStreams = 1000
-	sys, err := core.NewSystem(core.SystemConfig{})
+	sys, err := core.NewSystem(core.SystemConfig{Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sys.Close()
 	handles := make([]*core.StreamHandle, nStreams)
 	gens := make([]stream.Stream, nStreams)
 	for i := 0; i < nStreams; i++ {

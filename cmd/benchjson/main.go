@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output into a JSON file so
+// the benchmark trajectory is machine-readable across PRs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count 3 -run=^$ . | go run ./cmd/benchjson -out BENCH_PR2.json
+//
+// Every input line is echoed to stdout unchanged (the tool is a tee), and
+// benchmark result lines are parsed and aggregated: with -count > 1 the
+// recorded value per metric is the mean across runs. The output maps
+// benchmark name (GOMAXPROCS suffix stripped) to metric name → value,
+// e.g. {"SystemScaleParallel": {"ns/op": ..., "B/op": ..., "allocs/op":
+// ..., "msgs/stream-tick": ...}}.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type agg struct {
+	sum   map[string]float64
+	count map[string]int
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	results := map[string]*agg{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		a := results[name]
+		if a == nil {
+			a = &agg{sum: map[string]float64{}, count: map[string]int{}}
+			results[name] = a
+		}
+		for k, v := range metrics {
+			a.sum[k] += v
+			a.count[k]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+
+	final := map[string]map[string]float64{}
+	for name, a := range results {
+		m := map[string]float64{}
+		for k, s := range a.sum {
+			m[k] = s / float64(a.count[k])
+		}
+		final[name] = m
+	}
+	buf, err := marshalSorted(final)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(final), *out)
+}
+
+// parseBenchLine extracts metrics from one benchmark result line:
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   1 allocs/op   0.5 msgs/stream-tick
+//
+// Reports ok = false for non-benchmark lines.
+func parseBenchLine(line string) (name string, metrics map[string]float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	// Name, iteration count, then value/unit pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, metrics, true
+}
+
+// marshalSorted renders the result map with sorted keys and stable
+// indentation, so successive runs diff cleanly.
+func marshalSorted(m map[string]map[string]float64) ([]byte, error) {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		metrics := m[name]
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "  %s: {", mustJSON(name))
+		for j, k := range keys {
+			fmt.Fprintf(&b, "%s: %s", mustJSON(k), mustJSON(metrics[k]))
+			if j < len(keys)-1 {
+				b.WriteString(", ")
+			}
+		}
+		b.WriteString("}")
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}
+
+func mustJSON(v any) string {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(buf)
+}

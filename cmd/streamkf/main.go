@@ -58,10 +58,12 @@ func usage() {
 
 commands:
   list                              list experiments
-  run [-ticks N] [-seed S] [-stats] IDS...
+  run [-ticks N] [-seed S] [-stats] [-parallel N] IDS...
                                     run experiments ("all" for the suite);
                                     -stats prints a runtime telemetry table
-                                    after each experiment
+                                    after each experiment; -parallel N runs
+                                    up to N experiments concurrently with
+                                    byte-identical output
   gen -kind KIND [-n N] [-seed S] [-out FILE]
                                     generate a trace as CSV
   replay -file trace.csv [-method M] [-deltamult K | -delta D] [-norm linf|l2]
@@ -87,12 +89,18 @@ func cmdRun(args []string) error {
 	ticks := fs.Int64("ticks", 50000, "stream length per experiment")
 	seed := fs.Int64("seed", 42, "generator seed")
 	stats := fs.Bool("stats", false, "print a runtime telemetry table after each experiment")
+	parallel := fs.Int("parallel", 1, "number of experiments to run concurrently (e.g. GOMAXPROCS); output is identical to a serial run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		return fmt.Errorf("run: no experiment ids (try \"all\")")
+	}
+	if *stats && *parallel > 1 {
+		// Concurrent experiments interleave their counters in the shared
+		// default registry; a per-experiment table would be fiction.
+		return fmt.Errorf("run: -stats requires -parallel 1 (telemetry tables are per-experiment)")
 	}
 	var experiments []harness.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
@@ -107,6 +115,16 @@ func cmdRun(args []string) error {
 		}
 	}
 	cfg := harness.Config{Ticks: *ticks, Seed: *seed}
+	if *parallel > 1 {
+		results, err := harness.RunAll(experiments, cfg, *parallel)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			fmt.Println(res.String())
+		}
+		return nil
+	}
 	for _, e := range experiments {
 		if *stats {
 			// Scope the default registry to this experiment so the table

@@ -1,0 +1,40 @@
+package core
+
+import "sync"
+
+// workerPool is a fixed set of persistent goroutines that execute batches
+// of tasks submitted from a single coordinating goroutine (Advance). A
+// persistent pool keeps the per-tick fan-out cost at a channel send per
+// task instead of a goroutine spawn per task.
+type workerPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// newWorkerPool starts n worker goroutines.
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{tasks: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes every task on the pool and returns when all have finished.
+// Only one batch may be in flight at a time; the tick pipeline submits
+// from the single Advance goroutine, which guarantees that.
+func (p *workerPool) run(tasks []func()) {
+	p.wg.Add(len(tasks))
+	for _, f := range tasks {
+		p.tasks <- f
+	}
+	p.wg.Wait()
+}
+
+// close releases the worker goroutines.
+func (p *workerPool) close() { close(p.tasks) }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
@@ -167,19 +168,45 @@ type SystemConfig struct {
 	Allocator string
 	// AllocPeriod is the reallocation interval in ticks (default 200).
 	AllocPeriod int64
+	// Workers sets the parallelism of the per-tick pipeline: during
+	// Advance, replica time updates fan out across the server's lock
+	// stripes and link ticks across the attached streams, executed by
+	// this many persistent worker goroutines. 0 or 1 runs the exact
+	// serial pipeline. runtime.GOMAXPROCS(0) is the recommended setting
+	// on multi-core hosts. Results are bit-identical for any Workers
+	// value: per-stream state is independent, each stream is touched by
+	// exactly one task per phase, and the phases are barriers (see
+	// DESIGN.md, "Concurrency model").
+	Workers int
+	// Shards overrides the server's lock-stripe count (0 = the server
+	// default). More shards admit more tick-pipeline parallelism.
+	Shards int
 }
 
-// System is a single-process stream resource manager: the server-side
-// replica cache plus the attached sources, driven by a shared tick clock.
-// It is not safe for concurrent use; drive it from one goroutine (the TCP
-// server in cmd/kfserver shows the networked, concurrent deployment).
+// System is a stream resource manager: the server-side replica cache plus
+// the attached sources, driven by a shared tick clock. The driving
+// protocol is one Advance per tick followed by that tick's Observe calls;
+// Advance and Attach must come from a single goroutine, while Observe (on
+// distinct streams), queries, and Subscribe may run concurrently between
+// Advances — the replica cache is lock-striped and all counters are
+// atomic. With Workers > 1 the tick pipeline itself fans out across a
+// worker pool.
 type System struct {
 	srv     *server.Server
 	eng     *query.Engine
 	coord   *resource.Coordinator
 	subs    *query.Subscriptions
 	handles map[string]*StreamHandle
-	tick    int64
+	// order holds handles in attach order: the deterministic partition
+	// base for parallel link ticks.
+	order []*StreamHandle
+	tick  atomic.Int64
+
+	workers    int
+	pool       *workerPool
+	shardTasks []func() // one per server shard, built once
+	linkTasks  []func() // chunked link ticks, rebuilt after Attach
+	linkDirty  bool
 }
 
 // Predicate is a continuous range condition on a stream.
@@ -190,9 +217,25 @@ type Event = query.Event
 
 // NewSystem constructs a System.
 func NewSystem(cfg SystemConfig) (*System, error) {
+	srv := server.New()
+	if cfg.Shards > 0 {
+		srv = server.NewSharded(cfg.Shards)
+	}
 	s := &System{
-		srv:     server.New(),
+		srv:     srv,
 		handles: make(map[string]*StreamHandle),
+		workers: cfg.Workers,
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if s.workers > 1 {
+		s.pool = newWorkerPool(s.workers)
+		s.shardTasks = make([]func(), srv.NumShards())
+		for i := range s.shardTasks {
+			i := i
+			s.shardTasks[i] = func() { s.srv.TickShard(i) }
+		}
 	}
 	s.eng = query.New(s.srv)
 	s.subs = s.eng.NewSubscriptions()
@@ -268,6 +311,8 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		}
 	}
 	s.handles[cfg.ID] = h
+	s.order = append(s.order, h)
+	s.linkDirty = true
 	return h, nil
 }
 
@@ -275,9 +320,18 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 // tick that just settled, the budget coordinator reallocates, every
 // replica takes its time update, and delayed messages mature. Call once
 // per tick, before that tick's Observe calls.
+//
+// Subscription polling and budget reallocation stay serialized — they
+// read across streams and their callback/reallocation order is part of
+// the observable contract. The replica time updates and link ticks are
+// embarrassingly parallel (no cross-stream coupling) and fan out across
+// the worker pool when Workers > 1, in two barrier phases: all replicas
+// step, then all links deliver matured messages. The per-stream effect is
+// identical to the serial pipeline.
 func (s *System) Advance() error {
-	if s.tick > 0 {
-		if err := s.subs.Poll(s.tick - 1); err != nil {
+	t := s.tick.Load()
+	if t > 0 {
+		if err := s.subs.Poll(t - 1); err != nil {
 			return err
 		}
 	}
@@ -286,21 +340,61 @@ func (s *System) Advance() error {
 			return err
 		}
 	}
-	s.srv.Tick()
-	for _, h := range s.handles {
-		h.link.Tick()
+	if s.pool == nil {
+		s.srv.Tick()
+		for _, h := range s.order {
+			h.link.Tick()
+		}
+	} else {
+		s.pool.run(s.shardTasks)
+		if s.linkDirty {
+			s.rebuildLinkTasks()
+		}
+		s.pool.run(s.linkTasks)
 	}
-	s.tick++
+	s.tick.Add(1)
 	return nil
 }
 
+// rebuildLinkTasks partitions the attach-ordered handle list into one
+// contiguous chunk per worker. Each link is ticked by exactly one task,
+// so per-link state needs no locking.
+func (s *System) rebuildLinkTasks() {
+	s.linkTasks = s.linkTasks[:0]
+	n := len(s.order)
+	chunk := (n + s.workers - 1) / s.workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		part := s.order[lo:hi]
+		s.linkTasks = append(s.linkTasks, func() {
+			for _, h := range part {
+				h.link.Tick()
+			}
+		})
+	}
+	s.linkDirty = false
+}
+
 // Tick returns the current clock value (number of Advance calls).
-func (s *System) Tick() int64 { return s.tick }
+func (s *System) Tick() int64 { return s.tick.Load() }
+
+// Close releases the worker pool's goroutines. A serial System
+// (Workers <= 1) needs no Close; calling it once is always safe, after
+// which Advance falls back to the serial pipeline.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
+}
 
 // Observe feeds one measurement for the current tick through the
 // stream's precision gate, reporting whether a correction was sent.
 func (h *StreamHandle) Observe(value []float64) (sent bool, err error) {
-	return h.src.Observe(h.sys.tick-1, value)
+	return h.src.Observe(h.sys.tick.Load()-1, value)
 }
 
 // Delta returns the stream's current precision bound.
@@ -442,7 +536,7 @@ func (s *System) Info(id string) (server.StreamInfo, error) { return s.srv.Info(
 // TotalMessages sums correction traffic across all uplinks.
 func (s *System) TotalMessages() int64 {
 	var n int64
-	for _, h := range s.handles {
+	for _, h := range s.order {
 		n += h.link.Stats().Messages
 	}
 	return n
@@ -451,7 +545,7 @@ func (s *System) TotalMessages() int64 {
 // TotalBytes sums correction bytes across all uplinks.
 func (s *System) TotalBytes() int64 {
 	var n int64
-	for _, h := range s.handles {
+	for _, h := range s.order {
 		n += h.link.Stats().Bytes
 	}
 	return n

@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"kalmanstream/internal/metrics"
 	"kalmanstream/internal/netsim"
@@ -92,6 +93,52 @@ func ByID(id string) (Experiment, error) {
 		return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
 	}
 	return e, nil
+}
+
+// RunAll runs the given experiments with at most parallel of them in
+// flight at once (parallel < 2 means serial), returning results in input
+// order. Experiments are self-contained — each builds its own servers,
+// sources, links, and seeded generators from cfg — so concurrent runs
+// produce exactly the tables a serial run does; only wall-clock time
+// changes. The first error wins and is returned after in-flight
+// experiments drain.
+func RunAll(experiments []Experiment, cfg Config, parallel int) ([]*Result, error) {
+	results := make([]*Result, len(experiments))
+	if parallel < 2 || len(experiments) < 2 {
+		for i, e := range experiments {
+			res, err := e.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, parallel)
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i, e := range experiments {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := e.Run(cfg)
+			if err != nil {
+				errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", e.ID, err) })
+				return
+			}
+			results[i] = res
+		}(i, e)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // RunStats summarizes one (method, δ, stream) protocol run.

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestRunAllParallelMatchesSerial renders E1 and E2 through the serial
+// and the bounded-concurrency runner; every table must be byte-identical
+// — the property that lets `streamkf run all -parallel N` replace serial
+// runs everywhere.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"E1", "E2", "E9"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	cfg := Config{Ticks: 1500, Seed: 42}
+
+	serial, err := RunAll(exps, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAll(exps, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != exps[i].ID {
+			t.Errorf("result %d out of order: got %s want %s", i, serial[i].ID, exps[i].ID)
+		}
+		if s, p := serial[i].String(), parallel[i].String(); s != p {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial[i].ID, s, p)
+		}
+	}
+}

@@ -7,6 +7,12 @@
 // messages (and bytes) a source must send to keep the server's answers
 // within precision bounds. The simulator counts those exactly; the TCP
 // demo in internal/wire shows the same messages crossing a real socket.
+//
+// The codec has two tiers. Encode/Decode are the convenient forms that
+// allocate their results. AppendEncode/DecodeInto are the hot-path forms:
+// they reuse caller-provided buffers (plus GetBuffer/PutBuffer's pooled
+// encode buffers), so a steady-state correction round trip performs zero
+// heap allocations.
 package netsim
 
 import (
@@ -14,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"kalmanstream/internal/telemetry"
 )
@@ -36,6 +44,9 @@ const (
 	// snapshot, hard-resynchronizing the server replica after possible
 	// message loss.
 	KindResync
+
+	// numKinds bounds the per-kind counter array (kinds are 1-based).
+	numKinds = int(KindResync) + 1
 )
 
 func (k MessageKind) String() string {
@@ -69,15 +80,17 @@ func (m *Message) EncodedSize() int {
 	return 1 + 2 + len(m.StreamID) + 8 + 2 + 8*len(m.Value)
 }
 
-// Encode serializes the message to a compact binary form.
-func (m *Message) Encode() ([]byte, error) {
+// AppendEncode appends the message's wire encoding to buf and returns the
+// extended slice. When buf has EncodedSize spare capacity the call does
+// not allocate; pair it with GetBuffer/PutBuffer for a pooled zero-alloc
+// send path.
+func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
 	if len(m.StreamID) > math.MaxUint16 {
 		return nil, fmt.Errorf("netsim: stream id too long (%d bytes)", len(m.StreamID))
 	}
 	if len(m.Value) > math.MaxUint16 {
 		return nil, fmt.Errorf("netsim: value too long (%d elements)", len(m.Value))
 	}
-	buf := make([]byte, 0, m.EncodedSize())
 	buf = append(buf, byte(m.Kind))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.StreamID)))
 	buf = append(buf, m.StreamID...)
@@ -89,59 +102,99 @@ func (m *Message) Encode() ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses a message produced by Encode.
-func Decode(buf []byte) (*Message, error) {
+// Encode serializes the message to a freshly allocated compact binary
+// form.
+func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
+}
+
+// DecodeInto parses a message produced by Encode into m, reusing m's
+// storage where possible: the Value slice is reused when its capacity
+// suffices, and the StreamID string is kept when the bytes are unchanged
+// (the overwhelmingly common case — one decoder per connection or link
+// sees the same stream repeatedly). Decoding a steady stream of
+// corrections into the same Message therefore does not allocate. On error
+// m is left in an unspecified state.
+func DecodeInto(m *Message, buf []byte) error {
 	if len(buf) < 3 {
-		return nil, fmt.Errorf("netsim: message truncated (%d bytes)", len(buf))
+		return fmt.Errorf("netsim: message truncated (%d bytes)", len(buf))
 	}
-	m := &Message{Kind: MessageKind(buf[0])}
+	m.Kind = MessageKind(buf[0])
 	switch m.Kind {
 	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync:
 	default:
-		return nil, fmt.Errorf("netsim: unknown message kind %d", buf[0])
+		return fmt.Errorf("netsim: unknown message kind %d", buf[0])
 	}
 	idLen := int(binary.BigEndian.Uint16(buf[1:3]))
 	rest := buf[3:]
 	if len(rest) < idLen+8+2 {
-		return nil, fmt.Errorf("netsim: message truncated after header")
+		return fmt.Errorf("netsim: message truncated after header")
 	}
-	m.StreamID = string(rest[:idLen])
+	// string([]byte) == string compares without converting, so the id
+	// allocates only when it actually changed.
+	if id := rest[:idLen]; m.StreamID != string(id) {
+		m.StreamID = string(id)
+	}
 	rest = rest[idLen:]
 	m.Tick = int64(binary.BigEndian.Uint64(rest[:8]))
 	valLen := int(binary.BigEndian.Uint16(rest[8:10]))
 	rest = rest[10:]
 	if len(rest) != 8*valLen {
-		return nil, fmt.Errorf("netsim: message has %d value bytes, want %d", len(rest), 8*valLen)
+		return fmt.Errorf("netsim: message has %d value bytes, want %d", len(rest), 8*valLen)
 	}
-	if valLen > 0 {
+	if cap(m.Value) >= valLen {
+		m.Value = m.Value[:valLen]
+	} else {
 		m.Value = make([]float64, valLen)
-		for i := range m.Value {
-			m.Value[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
-		}
+	}
+	if valLen == 0 {
+		m.Value = nil
+		return nil
+	}
+	for i := range m.Value {
+		m.Value[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
+	}
+	return nil
+}
+
+// Decode parses a message produced by Encode into a fresh Message.
+func Decode(buf []byte) (*Message, error) {
+	m := &Message{}
+	if err := DecodeInto(m, buf); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
-// Stats accumulates traffic counters for one link direction.
+// bufPool recycles encode buffers across sends; 128 bytes covers any
+// correction up to a 13-element value with a 16-byte stream id.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 128)
+		return &b
+	},
+}
+
+// GetBuffer returns a pooled encode buffer of zero length. Release it
+// with PutBuffer once the encoded bytes have been consumed.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool. The
+// caller must not retain any slice of it afterwards.
+func PutBuffer(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// Stats is a snapshot of traffic counters for one link direction.
 type Stats struct {
 	Messages int64
 	Bytes    int64
 	Dropped  int64
 	// ByKind counts delivered messages per kind.
 	ByKind map[MessageKind]int64
-}
-
-func (s *Stats) count(m *Message, delivered bool) {
-	if !delivered {
-		s.Dropped++
-		return
-	}
-	s.Messages++
-	s.Bytes += int64(m.EncodedSize())
-	if s.ByKind == nil {
-		s.ByKind = make(map[MessageKind]int64)
-	}
-	s.ByKind[m.Kind]++
 }
 
 // LinkConfig sets optional impairments on a link.
@@ -161,15 +214,21 @@ type LinkConfig struct {
 
 // Link is a unidirectional channel that counts all traffic and delivers
 // messages to a receiver callback, optionally after a delay and with
-// probabilistic loss. Links are not safe for concurrent use; the
-// simulation harness is single-threaded by design so runs replay exactly.
+// probabilistic loss. Send and Tick must each be called from a single
+// goroutine at a time (per link — distinct streams' links are driven
+// concurrently by the parallel tick pipeline), but the traffic counters
+// are atomic, so Stats may be read from any goroutine at any moment.
 type Link struct {
 	recv   func(*Message)
 	cfg    LinkConfig
 	rng    *rand.Rand
 	queue  []queued
 	nowLag int
-	stats  Stats
+
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+	byKind  [numKinds]atomic.Int64
 
 	telMsgs    *telemetry.Counter
 	telBytes   *telemetry.Counter
@@ -207,13 +266,18 @@ func NewLink(recv func(*Message), cfg LinkConfig) *Link {
 // synchronous.
 func (l *Link) Send(m *Message) {
 	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
-		l.stats.count(m, false)
+		l.dropped.Add(1)
 		l.telDropped.Inc()
 		return
 	}
-	l.stats.count(m, true)
+	size := int64(m.EncodedSize())
+	l.msgs.Add(1)
+	l.bytes.Add(size)
+	if k := int(m.Kind); k > 0 && k < numKinds {
+		l.byKind[k].Add(1)
+	}
 	l.telMsgs.Inc()
-	l.telBytes.Add(int64(m.EncodedSize()))
+	l.telBytes.Add(size)
 	if l.cfg.DelayTicks <= 0 {
 		l.recv(m)
 		return
@@ -226,6 +290,9 @@ func (l *Link) Send(m *Message) {
 // in send order.
 func (l *Link) Tick() {
 	l.nowLag++
+	if len(l.queue) == 0 {
+		return
+	}
 	n := 0
 	for _, q := range l.queue {
 		if q.deliverAt <= l.nowLag {
@@ -239,13 +306,20 @@ func (l *Link) Tick() {
 	l.telPending.Set(float64(len(l.queue)))
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. Safe to call
+// concurrently with Send and Tick.
 func (l *Link) Stats() Stats {
-	out := l.stats
-	if l.stats.ByKind != nil {
-		out.ByKind = make(map[MessageKind]int64, len(l.stats.ByKind))
-		for k, v := range l.stats.ByKind {
-			out.ByKind[k] = v
+	out := Stats{
+		Messages: l.msgs.Load(),
+		Bytes:    l.bytes.Load(),
+		Dropped:  l.dropped.Load(),
+	}
+	for k := 1; k < numKinds; k++ {
+		if n := l.byKind[k].Load(); n > 0 {
+			if out.ByKind == nil {
+				out.ByKind = make(map[MessageKind]int64)
+			}
+			out.ByKind[MessageKind(k)] = n
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Predicate is a continuous range condition on one stream component.
@@ -40,7 +41,13 @@ type subscription struct {
 // bounds, a True or False notification is *certain*; Unknown marks the
 // grey zone where δ straddles a range edge, and a subscriber who needs a
 // decision can react by tightening that stream's δ.
+// Subscribe, Unsubscribe, Len, and Poll are safe to call from different
+// goroutines (the concurrent System lets clients register predicates
+// while streams are being observed); Poll itself stays on the single
+// Advance goroutine, and callbacks must not re-enter the subscription
+// set.
 type Subscriptions struct {
+	mu     sync.Mutex
 	engine *Engine
 	subs   []*subscription
 	nextID int
@@ -65,6 +72,8 @@ func (s *Subscriptions) Subscribe(p Predicate, fn func(Event)) (int, error) {
 	if _, _, err := s.engine.value(p.StreamID, p.Component); err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextID++
 	s.subs = append(s.subs, &subscription{id: s.nextID, pred: p, fn: fn, live: true})
 	return s.nextID, nil
@@ -72,6 +81,8 @@ func (s *Subscriptions) Subscribe(p Predicate, fn func(Event)) (int, error) {
 
 // Unsubscribe removes a subscription.
 func (s *Subscriptions) Unsubscribe(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, sub := range s.subs {
 		if sub.id == id && sub.live {
 			sub.live = false
@@ -83,6 +94,8 @@ func (s *Subscriptions) Unsubscribe(id int) error {
 
 // Len returns the number of live subscriptions.
 func (s *Subscriptions) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, sub := range s.subs {
 		if sub.live {
@@ -95,6 +108,8 @@ func (s *Subscriptions) Len() int {
 // Poll evaluates every live predicate at the given tick and fires
 // callbacks for transitions, in subscription-id order.
 func (s *Subscriptions) Poll(tick int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Deterministic firing order regardless of registration churn.
 	sort.Slice(s.subs, func(i, j int) bool { return s.subs[i].id < s.subs[j].id })
 	for _, sub := range s.subs {

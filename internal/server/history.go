@@ -70,7 +70,10 @@ func (h *history) at(tick int64) (HistoryEntry, bool) {
 // begins, i.e. after all of a tick's corrections have settled, so history
 // reflects exactly what a client querying at that tick would have seen.
 func (s *Server) EnableHistory(id string, capacity int) error {
-	st, ok := s.streams[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[id]
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
 	}
@@ -106,10 +109,11 @@ func (st *streamState) archive() {
 // tick. Fails when history is disabled, the tick has been evicted, or it
 // has not settled yet.
 func (s *Server) HistoryAt(id string, tick int64) (HistoryEntry, error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return HistoryEntry{}, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return HistoryEntry{}, err
 	}
+	defer sh.mu.RUnlock()
 	if st.history == nil {
 		return HistoryEntry{}, fmt.Errorf("server: %w for %q", ErrHistoryDisabled, id)
 	}
@@ -140,10 +144,11 @@ func (s *Server) HistoryRange(id string, from, to int64) ([]HistoryEntry, error)
 
 // HistoryLen returns the number of retained entries.
 func (s *Server) HistoryLen(id string) (int, error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return 0, err
 	}
+	defer sh.mu.RUnlock()
 	if st.history == nil {
 		return 0, fmt.Errorf("server: %w for %q", ErrHistoryDisabled, id)
 	}

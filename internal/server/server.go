@@ -2,6 +2,13 @@
 // protocol: a registry of predictor replicas, one per stream, that answers
 // point-in-time value queries with hard precision bounds while receiving
 // only the corrections the sources' gates let through.
+//
+// The registry is lock-striped into shards (fnv-1a hash on the stream ID,
+// one RWMutex per shard), so operations on different streams proceed
+// concurrently: per-stream replica state has no cross-stream coupling, and
+// the shard lock is only ever held for the nanoseconds a tiny state update
+// takes. Queries take a shard read lock; corrections and ticks take the
+// write lock. A serial caller pays one uncontended lock per operation.
 package server
 
 import (
@@ -9,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
@@ -27,6 +36,11 @@ var (
 	// retained (evicted or not yet settled).
 	ErrHistoryMiss = errors.New("tick not retained in history")
 )
+
+// DefaultShards is the shard count New uses: enough stripes that a
+// many-core tick pipeline rarely contends, cheap enough that a
+// single-stream harness run doesn't notice.
+const DefaultShards = 16
 
 // StreamInfo is a diagnostic snapshot of one registered stream.
 type StreamInfo struct {
@@ -72,21 +86,79 @@ type streamState struct {
 	telStaleness *telemetry.Histogram
 }
 
-// Server hosts predictor replicas for any number of streams.
-type Server struct {
+// shard is one lock stripe of the registry.
+type shard struct {
+	mu      sync.RWMutex
 	streams map[string]*streamState
-	tel     *telemetry.Registry
+	// size mirrors len(streams) so Tick can skip empty shards without
+	// taking their locks (len of a map is not safe to read concurrently
+	// with writes).
+	size atomic.Int64
 }
 
-// New returns an empty server.
-func New() *Server {
-	return &Server{streams: make(map[string]*streamState)}
+// Server hosts predictor replicas for any number of streams. All methods
+// are safe for concurrent use; operations on streams in different shards
+// never contend.
+type Server struct {
+	shards []*shard
+	tel    *telemetry.Registry
+}
+
+// New returns an empty server with DefaultShards lock stripes.
+func New() *Server { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty server with n lock stripes (n < 1 means 1).
+// More shards admit more concurrent per-stream operations; a serial
+// deployment works identically with any shard count.
+func NewSharded(n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	s := &Server{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{streams: make(map[string]*streamState)}
+	}
+	return s
+}
+
+// fnv1a is the 32-bit FNV-1a hash of id, inlined so shard routing does
+// not allocate (hash/fnv's New32a returns a heap handle).
+func fnv1a(id string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shardFor routes a stream ID to its lock stripe.
+func (s *Server) shardFor(id string) *shard {
+	return s.shards[fnv1a(id)%uint32(len(s.shards))]
+}
+
+// NumShards returns the number of lock stripes.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardSizes reports the number of registered streams per shard — the
+// load-balance diagnostic for the hash distribution.
+func (s *Server) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = int(sh.size.Load())
+	}
+	return out
 }
 
 // SetTelemetry attaches a registry; point queries on streams registered
-// afterwards record per-stream query counts and answer staleness. The
-// single-process evaluation harness leaves this unset, keeping its hot
-// loop untouched; the wire server and cmd/kfserver always set it.
+// afterwards record per-stream query counts and answer staleness. Call it
+// before Register and before any concurrent use. The single-process
+// evaluation harness leaves this unset, keeping its hot loop untouched;
+// the wire server and cmd/kfserver always set it.
 func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 	s.tel = reg
 }
@@ -101,9 +173,6 @@ func (s *Server) Register(id string, spec predictor.Spec, delta float64) error {
 	if delta < 0 {
 		return fmt.Errorf("server: negative delta %g for %s", delta, id)
 	}
-	if _, ok := s.streams[id]; ok {
-		return fmt.Errorf("server: stream %q already registered", id)
-	}
 	replica, err := spec.Build()
 	if err != nil {
 		return fmt.Errorf("server: building replica for %s: %w", id, err)
@@ -113,23 +182,50 @@ func (s *Server) Register(id string, spec predictor.Spec, delta float64) error {
 		st.telQueries = s.tel.Counter("server_queries_total", "stream", id)
 		st.telStaleness = s.tel.Histogram("query_staleness_ticks", telemetry.StalenessBuckets, "stream", id)
 	}
-	s.streams[id] = st
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.streams[id]; ok {
+		return fmt.Errorf("server: stream %q already registered", id)
+	}
+	sh.streams[id] = st
+	sh.size.Store(int64(len(sh.streams)))
 	return nil
 }
 
 // Unregister removes a stream.
 func (s *Server) Unregister(id string) error {
-	if _, ok := s.streams[id]; !ok {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.streams[id]; !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
 	}
-	delete(s.streams, id)
+	delete(sh.streams, id)
+	sh.size.Store(int64(len(sh.streams)))
 	return nil
 }
 
 // Tick advances every replica by one time step. The harness calls this
-// once per global tick, before delivering that tick's messages.
+// once per global tick, before delivering that tick's messages. For
+// parallel fan-out, call TickShard for every shard index instead — the
+// per-stream effect is identical.
 func (s *Server) Tick() {
-	for _, st := range s.streams {
+	for i := range s.shards {
+		s.TickShard(i)
+	}
+}
+
+// TickShard advances every replica in one shard by one time step. Distinct
+// shards can tick concurrently: streams never share state across shards.
+func (s *Server) TickShard(i int) {
+	sh := s.shards[i]
+	if sh.size.Load() == 0 {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, st := range sh.streams {
 		st.archive()
 		st.replica.Step()
 		st.tick++
@@ -139,7 +235,10 @@ func (s *Server) Tick() {
 // TickStream advances a single stream's replica (for sources on
 // independent clocks).
 func (s *Server) TickStream(id string) error {
-	st, ok := s.streams[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[id]
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
 	}
@@ -151,7 +250,10 @@ func (s *Server) TickStream(id string) error {
 
 // Apply ingests a protocol message (normally a correction).
 func (s *Server) Apply(m *netsim.Message) error {
-	st, ok := s.streams[m.StreamID]
+	sh := s.shardFor(m.StreamID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[m.StreamID]
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, m.StreamID)
 	}
@@ -196,16 +298,30 @@ func (s *Server) Apply(m *netsim.Message) error {
 	}
 }
 
+// get looks a stream up under the shard read lock and returns the state
+// together with its shard, still locked; the caller must RUnlock.
+func (s *Server) get(id string) (*shard, *streamState, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	st, ok := sh.streams[id]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, nil, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	return sh, st, nil
+}
+
 // Value answers a point query: the current estimate for the stream and
 // the absolute error bound the suppression protocol guarantees on it. On
 // a tick where a correction arrived the answer is the shipped measurement
 // itself with bound 0 (the server knows the exact value); on suppressed
 // ticks the answer is the replica's prediction with the stream's δ bound.
 func (s *Server) Value(id string) (estimate []float64, bound float64, err error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return nil, 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return nil, 0, err
 	}
+	defer sh.mu.RUnlock()
 	if st.telQueries != nil {
 		st.telQueries.Inc()
 		if stale := st.tick - 1 - st.lastCorr; stale >= 0 {
@@ -227,10 +343,11 @@ func (s *Server) Value(id string) (estimate []float64, bound float64, err error)
 // price of being a model statement rather than a promise. Only predictors
 // implementing predictor.Uncertainty (the Kalman family) support it.
 func (s *Server) ValueDistribution(id string) (estimate, stddev []float64, err error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return nil, nil, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return nil, nil, err
 	}
+	defer sh.mu.RUnlock()
 	u, ok := st.replica.(predictor.Uncertainty)
 	if !ok {
 		return nil, nil, fmt.Errorf("server: stream %q predictor (%s) has no predictive distribution",
@@ -248,7 +365,10 @@ func (s *Server) ValueDistribution(id string) (estimate, stddev []float64, err e
 // determines the geometry of the δ bound (per-component box for NormInf,
 // Euclidean ball for NormL2), which spatial queries must respect.
 func (s *Server) SetNorm(id string, norm source.Norm) error {
-	st, ok := s.streams[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[id]
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
 	}
@@ -258,31 +378,36 @@ func (s *Server) SetNorm(id string, norm source.Norm) error {
 
 // Norm returns the stream's gate norm.
 func (s *Server) Norm(id string) (source.Norm, error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return 0, err
 	}
+	defer sh.mu.RUnlock()
 	return st.norm, nil
 }
 
 // Delta returns the stream's current precision bound.
 func (s *Server) Delta(id string) (float64, error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return 0, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return 0, err
 	}
+	defer sh.mu.RUnlock()
 	return st.delta, nil
 }
 
 // SetDelta records a changed precision bound for the stream (paired with
 // a delta-update message to the source).
 func (s *Server) SetDelta(id string, delta float64) error {
-	st, ok := s.streams[id]
-	if !ok {
-		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
-	}
 	if delta < 0 {
 		return fmt.Errorf("server: negative delta %g for %s", delta, id)
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[id]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
 	}
 	st.delta = delta
 	return nil
@@ -290,10 +415,11 @@ func (s *Server) SetDelta(id string, delta float64) error {
 
 // Info returns a diagnostic snapshot for one stream.
 func (s *Server) Info(id string) (StreamInfo, error) {
-	st, ok := s.streams[id]
-	if !ok {
-		return StreamInfo{}, fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	sh, st, err := s.get(id)
+	if err != nil {
+		return StreamInfo{}, err
 	}
+	defer sh.mu.RUnlock()
 	return StreamInfo{
 		ID:                 st.id,
 		Delta:              st.delta,
@@ -308,13 +434,23 @@ func (s *Server) Info(id string) (StreamInfo, error) {
 
 // StreamIDs returns the registered stream identifiers in sorted order.
 func (s *Server) StreamIDs() []string {
-	ids := make([]string, 0, len(s.streams))
-	for id := range s.streams {
-		ids = append(ids, id)
+	ids := make([]string, 0, s.Len())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.streams {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(ids)
 	return ids
 }
 
 // Len returns the number of registered streams.
-func (s *Server) Len() int { return len(s.streams) }
+func (s *Server) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += int(sh.size.Load())
+	}
+	return n
+}

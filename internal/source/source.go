@@ -199,11 +199,14 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 	if err := s.replica.Correct(z); err != nil {
 		return false, fmt.Errorf("source %s: correcting replica: %w", s.cfg.StreamID, err)
 	}
+	// The message owns its value: on a delayed link it sits queued after
+	// Observe returns, so aliasing the caller's measurement slice would
+	// corrupt in-flight corrections if the caller reuses its buffer.
 	msg := &netsim.Message{
 		Kind:     netsim.KindCorrection,
 		StreamID: s.cfg.StreamID,
 		Tick:     tick,
-		Value:    z,
+		Value:    mat.VecClone(z),
 	}
 	if s.cfg.ResyncEvery > 0 && (s.stats.Sent+1)%s.cfg.ResyncEvery == 0 {
 		// Upgrade to a resync: the measurement followed by the full

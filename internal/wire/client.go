@@ -73,12 +73,17 @@ func (c *Client) Register(id string, spec predictor.Spec, delta float64) error {
 	return err
 }
 
-// SendCorrection ships a correction message; fire-and-forget.
+// SendCorrection ships a correction message; fire-and-forget. The
+// encoding goes through a pooled buffer, so the steady-state send path
+// performs no allocations.
 func (c *Client) SendCorrection(m *netsim.Message) error {
-	buf, err := m.Encode()
+	bp := netsim.GetBuffer()
+	defer netsim.PutBuffer(bp)
+	buf, err := m.AppendEncode(*bp)
 	if err != nil {
 		return err
 	}
+	*bp = buf[:0]
 	if err := WriteFrame(c.bw, FrameMessage, buf); err != nil {
 		return err
 	}

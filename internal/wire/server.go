@@ -258,6 +258,10 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	bytesIn := s.reg.Counter("wire_bytes_total", "direction", "in")
 	framesIn := s.reg.Counter("wire_frames_total", "direction", "in")
+	// One decode target per connection: DecodeInto reuses its Value
+	// storage and StreamID string, so a steady correction stream decodes
+	// without allocating.
+	var msg netsim.Message
 	for {
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
@@ -270,7 +274,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Frame overhead is 4 length bytes + 1 type byte.
 		bytesIn.Add(int64(5 + len(payload)))
 		framesIn.Inc()
-		if err := s.dispatch(conn, typ, payload); err != nil {
+		if err := s.dispatch(conn, typ, payload, &msg); err != nil {
 			s.telErrors.Inc()
 			if writeErr := s.writeFrame(conn, FrameError, []byte(err.Error())); writeErr != nil {
 				s.logw("wire: write error frame failed",
@@ -291,7 +295,7 @@ func (s *Server) writeFrame(conn net.Conn, typ uint8, payload []byte) error {
 	return nil
 }
 
-func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
+func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte, msg *netsim.Message) error {
 	switch typ {
 	case FrameRegister:
 		var p RegisterPayload
@@ -303,13 +307,14 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte) error {
 		}
 		return s.writeFrame(conn, FrameOK, nil)
 	case FrameMessage:
-		m, err := netsim.Decode(payload)
-		if err != nil {
+		if err := netsim.DecodeInto(msg, payload); err != nil {
 			return err
 		}
 		// Corrections are fire-and-forget: no ack, so a source's send
 		// path costs exactly one frame — the property being measured.
-		return s.Apply(m)
+		// Apply copies what it keeps, so reusing msg across frames is
+		// safe.
+		return s.Apply(msg)
 	case FrameQuery:
 		var q QueryPayload
 		if err := json.Unmarshal(payload, &q); err != nil {
