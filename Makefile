@@ -5,12 +5,18 @@
 
 GO ?= go
 # Benchmark knobs for `make bench`; BENCH_OUT is the machine-readable
-# perf trajectory recorded from PR 2 onward.
+# perf trajectory recorded from PR 2 onward, BENCH_BASE the baseline
+# that `make bench-compare` gates against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR2.json
+# The regression gate: benchmarks matching this pattern may not regress
+# ns/op by more than BENCH_MAXREGRESS percent against BENCH_BASE.
+BENCH_GATE ?= SystemScale|MessageRoundTrip
+BENCH_MAXREGRESS ?= 10
 
-.PHONY: check vet build test race benchsmoke bench
+.PHONY: check vet build test race benchsmoke bench bench-compare
 
 check: vet build race benchsmoke
 
@@ -38,3 +44,10 @@ benchsmoke:
 bench:
 	$(GO) test -bench=. -benchmem -count=$(BENCHCOUNT) -benchtime=$(BENCHTIME) -run=^$$ . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# bench-compare diffs the freshly recorded $(BENCH_OUT) against the
+# $(BENCH_BASE) baseline and fails on a >$(BENCH_MAXREGRESS)% ns/op
+# regression in the gated benchmarks. Run `make bench` first.
+bench-compare:
+	$(GO) run ./cmd/benchjson -old $(BENCH_BASE) -new $(BENCH_OUT) \
+		-filter '$(BENCH_GATE)' -maxregress $(BENCH_MAXREGRESS)

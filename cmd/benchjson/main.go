@@ -1,9 +1,10 @@
 // Command benchjson converts `go test -bench` output into a JSON file so
-// the benchmark trajectory is machine-readable across PRs.
+// the benchmark trajectory is machine-readable across PRs, and compares
+// two such files to catch performance regressions.
 //
-// Usage:
+// Record:
 //
-//	go test -bench=. -benchmem -count 3 -run=^$ . | go run ./cmd/benchjson -out BENCH_PR2.json
+//	go test -bench=. -benchmem -count 3 -run=^$ . | go run ./cmd/benchjson -out BENCH_PR3.json
 //
 // Every input line is echoed to stdout unchanged (the tool is a tee), and
 // benchmark result lines are parsed and aggregated: with -count > 1 the
@@ -11,6 +12,14 @@
 // benchmark name (GOMAXPROCS suffix stripped) to metric name → value,
 // e.g. {"SystemScaleParallel": {"ns/op": ..., "B/op": ..., "allocs/op":
 // ..., "msgs/stream-tick": ...}}.
+//
+// Compare:
+//
+//	go run ./cmd/benchjson -old BENCH_PR2.json -new BENCH_PR3.json \
+//	    -filter 'SystemScale|MessageRoundTrip' -maxregress 10
+//
+// prints a per-benchmark ns/op delta table and exits nonzero when any
+// benchmark matching -filter regressed by more than -maxregress percent.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,10 +40,21 @@ type agg struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output JSON file (required)")
+	out := flag.String("out", "", "output JSON file (record mode)")
+	oldFile := flag.String("old", "", "baseline JSON file (compare mode)")
+	newFile := flag.String("new", "", "candidate JSON file (compare mode)")
+	filter := flag.String("filter", "", "compare: regexp of benchmark names the regression gate applies to (default: all)")
+	maxRegress := flag.Float64("maxregress", 10, "compare: fail when a gated benchmark's ns/op regressed more than this percent")
 	flag.Parse()
+	if *oldFile != "" || *newFile != "" {
+		if *oldFile == "" || *newFile == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: compare mode needs both -old and -new")
+			os.Exit(2)
+		}
+		os.Exit(compare(*oldFile, *newFile, *filter, *maxRegress))
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required (or -old/-new to compare)")
 		os.Exit(2)
 	}
 
@@ -84,6 +105,84 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(final), *out)
+}
+
+// compare loads two recorded files and reports ns/op movement per
+// benchmark. Benchmarks matching gate (all, when empty) fail the run
+// when they regressed by more than maxRegress percent; benchmarks
+// present on only one side are reported but never gate (the suite grows
+// across PRs). Returns the process exit code.
+func compare(oldFile, newFile, gate string, maxRegress float64) int {
+	oldB, err := loadBench(oldFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newB, err := loadBench(newFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var gateRe *regexp.Regexp
+	if gate != "" {
+		if gateRe, err = regexp.Compile(gate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -filter: %v\n", err)
+			return 2
+		}
+	}
+
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-34s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "gate")
+	failed := false
+	for _, name := range names {
+		nv, ok := newB[name]["ns/op"]
+		if !ok {
+			continue
+		}
+		gated := gateRe == nil || gateRe.MatchString(name)
+		ov, ok := oldB[name]["ns/op"]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.1f %9s  %s\n", name, "-", nv, "new", "")
+			continue
+		}
+		deltaPct := 100 * (nv - ov) / ov
+		status := ""
+		if gated {
+			status = "ok"
+			if deltaPct > maxRegress {
+				status = fmt.Sprintf("FAIL (> %.0f%%)", maxRegress)
+				failed = true
+			}
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %+8.1f%%  %s\n", name, ov, nv, deltaPct, status)
+	}
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			fmt.Printf("%-34s dropped from new file\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: regression above %.0f%% on gated benchmarks (%s)\n", maxRegress, gate)
+		return 1
+	}
+	return 0
+}
+
+func loadBench(path string) (map[string]map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]map[string]float64
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return m, nil
 }
 
 // parseBenchLine extracts metrics from one benchmark result line:

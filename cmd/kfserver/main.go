@@ -8,12 +8,16 @@
 // README's Observability section for metric names). The telemetry
 // snapshot is reachable two ways: over the wire protocol itself via a
 // metrics frame, and — when -http is set — over HTTP as Prometheus text
-// at /metrics and as JSON at /debug/vars. Diagnostics are structured
+// at /metrics and as JSON at /debug/vars. With -trace the server also
+// journals the stream lifecycle (gate decisions ingested from sources,
+// replica applies, query serves) and serves it at /debug/trace, with
+// the online precision audit alongside. Go runtime profiles are always
+// mounted at /debug/pprof/ on the HTTP mux. Diagnostics are structured
 // log/slog records on stderr.
 //
 // Usage:
 //
-//	kfserver [-addr :9653] [-http :9654] [-logjson]
+//	kfserver [-addr :9653] [-http :9654] [-trace] [-logjson]
 package main
 
 import (
@@ -21,15 +25,19 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 	"kalmanstream/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":9653", "listen address")
-	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /debug/vars (e.g. :9654)")
+	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics, /debug/vars, /debug/trace, and /debug/pprof/ (e.g. :9654)")
+	traceOn := flag.Bool("trace", false, "enable the lifecycle trace journal (browse at /debug/trace)")
+	traceCap := flag.Int("trace-buf", trace.DefaultCapacity, "trace ring capacity per shard (newest events win)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -45,11 +53,13 @@ func main() {
 		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	srv := wire.NewServerWith(wire.Options{Logger: logger, Metrics: telemetry.Default})
-	logger.Info("listening", "addr", l.Addr().String())
+	journal := trace.NewJournal(trace.DefaultShards, *traceCap)
+	journal.SetEnabled(*traceOn)
+	srv := wire.NewServerWith(wire.Options{Logger: logger, Metrics: telemetry.Default, Trace: journal})
+	logger.Info("listening", "addr", l.Addr().String(), "trace", *traceOn)
 
 	if *httpAddr != "" {
-		go serveHTTP(*httpAddr, srv.Registry(), logger)
+		go serveHTTP(*httpAddr, srv, logger)
 	}
 
 	if err := srv.Serve(l); err != nil {
@@ -59,9 +69,12 @@ func main() {
 }
 
 // serveHTTP exposes the registry at /metrics (Prometheus text) and
-// /debug/vars (JSON). Exposition failures mid-write are connection
-// errors, not server state; they are logged and the connection dropped.
-func serveHTTP(addr string, reg *telemetry.Registry, logger *slog.Logger) {
+// /debug/vars (JSON), the lifecycle journal and precision audit at
+// /debug/trace, and the Go runtime profiles at /debug/pprof/.
+// Exposition failures mid-write are connection errors, not server
+// state; they are logged and the connection dropped.
+func serveHTTP(addr string, srv *wire.Server, logger *slog.Logger) {
+	reg := srv.Registry()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -75,6 +88,14 @@ func serveHTTP(addr string, reg *telemetry.Registry, logger *slog.Logger) {
 			logger.Warn("vars write failed", "remote", r.RemoteAddr, "err", err)
 		}
 	})
+	mux.Handle("/debug/trace", trace.Handler(srv.Trace(), srv.Auditor()))
+	// net/http/pprof only self-registers on http.DefaultServeMux; mount
+	// its handlers on ours explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	logger.Info("http listening", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		logger.Error("http serve failed", "addr", addr, "err", err)

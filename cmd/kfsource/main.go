@@ -6,10 +6,13 @@
 // Usage:
 //
 //	kfsource [-addr localhost:9653] [-id sensor-1] [-kind sine]
-//	         [-delta 0.5] [-n 10000] [-seed 1] [-interval 0]
+//	         [-delta 0.5] [-n 10000] [-seed 1] [-interval 0] [-trace]
 //
 // -interval sets a real-time delay between ticks (e.g. 10ms); the default
-// of 0 replays as fast as possible.
+// of 0 replays as fast as possible. -trace journals every gate decision
+// locally and ships the batches in-band to the server, whose /debug/trace
+// endpoint then shows the full gate → apply → query lifecycle and whose
+// precision auditor counts δ violations; a final audit line prints here.
 package main
 
 import (
@@ -17,11 +20,13 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
+	"kalmanstream/internal/trace"
 	"kalmanstream/internal/wire"
 )
 
@@ -33,6 +38,7 @@ func main() {
 	n := flag.Int64("n", 10000, "number of ticks")
 	seed := flag.Int64("seed", 1, "generator seed")
 	interval := flag.Duration("interval", 0, "real-time delay between ticks")
+	traceOn := flag.Bool("trace", false, "journal gate decisions and ship them to the server in-band")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).
@@ -73,16 +79,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	ns, err := wire.NewNetworkedSource(client, source.Config{
+	var journal *trace.Journal
+	cfg := source.Config{
 		StreamID: *id,
 		Spec:     spec,
 		Delta:    *delta,
-	})
+	}
+	if *traceOn {
+		journal = trace.NewJournal(1, trace.DefaultCapacity)
+		journal.SetEnabled(true)
+		cfg.Trace = journal
+	}
+	ns, err := wire.NewNetworkedSource(client, cfg)
 	if err != nil {
 		logger.Error("registration failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr)
+	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr, "trace", *traceOn)
 
 	// Mid-stream transport errors end the run gracefully rather than
 	// aborting: stop observing, flush a final stats line, close the
@@ -117,10 +130,45 @@ func main() {
 	st := ns.Stats()
 	fmt.Printf("done: %d ticks, %d corrections sent, %.1f%% suppressed\n",
 		st.Ticks, st.Sent, 100*st.SuppressionRatio())
+	if *traceOn && !failed {
+		// Ship the final partial batch so the server's auditor has seen
+		// every tick, then fetch its verdict from the metrics snapshot.
+		if err := ns.FlushTrace(); err != nil {
+			logger.Warn("final trace flush failed", "err", err)
+		} else if text, err := client.Metrics(); err != nil {
+			logger.Warn("metrics fetch failed", "err", err)
+		} else {
+			fmt.Printf("audit: server-side %s\n", auditSummary(text, *id))
+		}
+	}
 	if err := client.Close(); err != nil {
 		logger.Warn("close failed", "err", err)
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// auditSummary pulls the stream's audit counters out of a Prometheus
+// text snapshot: audited ticks and δ violations. On a loss-free TCP link
+// violations must read 0 — the server independently confirming that
+// every suppressed tick stayed within the promised bound.
+func auditSummary(metricsText, id string) string {
+	want := fmt.Sprintf("{stream=%q}", id)
+	var ticks, violations string
+	for _, line := range strings.Split(metricsText, "\n") {
+		switch {
+		case strings.HasPrefix(line, "audit_ticks_total"+want):
+			ticks = strings.TrimSpace(strings.TrimPrefix(line, "audit_ticks_total"+want))
+		case strings.HasPrefix(line, "audit_delta_violations_total"+want):
+			violations = strings.TrimSpace(strings.TrimPrefix(line, "audit_delta_violations_total"+want))
+		}
+	}
+	if ticks == "" {
+		return "no audit data (gate events not ingested)"
+	}
+	if violations == "" {
+		violations = "0"
+	}
+	return fmt.Sprintf("audited %s ticks, %s δ violations", ticks, violations)
 }

@@ -38,6 +38,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "selfcheck":
 		err = cmdSelfcheck(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,6 +71,11 @@ commands:
   replay -file trace.csv [-method M] [-deltamult K | -delta D] [-norm linf|l2]
                                     run the suppression protocol over a CSV
                                     trace and report message savings
+  trace [-http H:P] [-stream ID] [-n N] [-json]
+                                    fetch a live kfserver's /debug/trace
+                                    timeline; with -demo, run a local traced
+                                    simulation and render its lifecycle
+                                    (gate → link → apply → query) + audit
   selfcheck [-seed S]               verify the protocol invariants (hard
                                     bound, replica lock-step, composition)
                                     on this machine's floating point

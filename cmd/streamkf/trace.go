@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+
+	"kalmanstream/internal/core"
+	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
+)
+
+// cmdTrace renders stream lifecycle timelines. Two modes:
+//
+//   - remote (default): fetch a live kfserver's /debug/trace endpoint and
+//     print the per-stream timeline it is journaling;
+//   - -demo: run a self-contained traced+audited simulation in-process
+//     and render its timeline — the zero-setup way to see what the
+//     journal records at every stage (gate → link → apply → query).
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	httpAddr := fs.String("http", "localhost:9654", "kfserver HTTP address (its -http flag)")
+	streamID := fs.String("stream", "", "filter to one stream id")
+	n := fs.Int("n", 40, "maximum events to show (most recent win)")
+	asJSON := fs.Bool("json", false, "print the raw JSON dump instead of the text timeline")
+	demo := fs.Bool("demo", false, "run a local traced demo simulation instead of querying a server")
+	kind := fs.String("kind", "sine", "demo stream kind (see gen)")
+	ticks := fs.Int64("ticks", 300, "demo stream length")
+	delta := fs.Float64("delta", 0.5, "demo precision bound δ")
+	seed := fs.Int64("seed", 1, "demo generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *demo {
+		return traceDemo(*kind, *ticks, *delta, *seed, *n)
+	}
+	q := url.Values{}
+	if *streamID != "" {
+		q.Set("stream", *streamID)
+	}
+	q.Set("n", strconv.Itoa(*n))
+	if !*asJSON {
+		q.Set("format", "text")
+	}
+	u := fmt.Sprintf("http://%s/debug/trace?%s", *httpAddr, q.Encode())
+	resp, err := http.Get(u)
+	if err != nil {
+		return fmt.Errorf("trace: fetching %s: %w (is kfserver running with -http and -trace?)", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("trace: %s answered %s: %s", u, resp.Status, body)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// traceDemo drives one traced, audited stream through the full
+// in-process pipeline and prints the journal's timeline plus the
+// auditor's verdict.
+func traceDemo(kind string, ticks int64, delta float64, seed int64, n int) error {
+	var gen stream.Stream
+	var spec core.PredictorSpec
+	switch kind {
+	case "sine":
+		gen = stream.NewSine(seed, 50, 10, 100, 0, 0.2, ticks)
+		spec = core.KalmanConstantVelocity(0.01, 0.04)
+	case "random-walk":
+		gen = stream.NewRandomWalk(seed, 0, 1, 0.1, ticks)
+		spec = core.KalmanRandomWalk(1, 0.01)
+	case "network":
+		gen = stream.NewNetworkLoad(seed, ticks)
+		spec = core.KalmanConstantVelocity(0.5, 1)
+	default:
+		return fmt.Errorf("trace: unsupported demo kind %q (sine, random-walk, network)", kind)
+	}
+
+	journal := trace.NewJournal(trace.DefaultShards, trace.DefaultCapacity)
+	journal.SetEnabled(true)
+	sys, err := core.NewSystem(core.SystemConfig{
+		Trace: journal, Audit: true, Telemetry: telemetry.New(),
+	})
+	if err != nil {
+		return err
+	}
+	id := "demo-" + kind
+	h, err := sys.Attach(core.StreamConfig{ID: id, Predictor: spec, Delta: delta})
+	if err != nil {
+		return err
+	}
+	queries := 0
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Advance(); err != nil {
+			return err
+		}
+		if _, err := h.Observe(p.Value); err != nil {
+			return err
+		}
+		if p.Tick%50 == 49 {
+			if _, err := sys.Value(id); err != nil {
+				return err
+			}
+			queries++
+		}
+	}
+
+	evs := journal.StreamEvents(id)
+	if len(evs) > n {
+		fmt.Printf("(showing the last %d of %d events; raise -n for more)\n", n, len(evs))
+		evs = evs[len(evs)-n:]
+	}
+	if err := trace.WriteTimeline(os.Stdout, evs); err != nil {
+		return err
+	}
+	st := h.Stats()
+	audit := sys.Auditor().Stats(id)
+	fmt.Printf("\ngate: %d ticks, %d sent, %d suppressed (%.1f%%)\n",
+		st.Ticks, st.Sent, st.Suppressed, 100*st.SuppressionRatio())
+	fmt.Printf("audit: %d ticks audited, %d δ violations, worst suppressed deviation %.3f·δ\n",
+		audit.Ticks, audit.Violations, nanZero(audit.MaxRatio))
+	fmt.Printf("queries served: %d\n", queries)
+	if audit.Violations != 0 {
+		return fmt.Errorf("trace: %d δ violations on a loss-free demo link — protocol invariant broken", audit.Violations)
+	}
+	return nil
+}
+
+func nanZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

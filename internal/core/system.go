@@ -16,6 +16,8 @@ import (
 	"kalmanstream/internal/resource"
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/source"
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // PredictorSpec describes the replicated prediction procedure for a
@@ -181,6 +183,19 @@ type SystemConfig struct {
 	// Shards overrides the server's lock-stripe count (0 = the server
 	// default). More shards admit more tick-pipeline parallelism.
 	Shards int
+	// Trace attaches a lifecycle trace journal to every layer — gate,
+	// link, replica apply, query serve. Nil means trace.Default. While
+	// the journal is disabled (the default) each operation pays one
+	// atomic load; enable with journal.SetEnabled(true).
+	Trace *trace.Journal
+	// Audit enables the online precision auditor: every Observe compares
+	// the ground-truth measurement against the answer the server would
+	// serve that tick, counting δ violations (possible only under link
+	// loss or delay). Costs one extra point query per observation.
+	Audit bool
+	// Telemetry receives the auditor's counters and histograms when
+	// Audit is set; nil means telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 // System is a stream resource manager: the server-side replica cache plus
@@ -202,6 +217,9 @@ type System struct {
 	order []*StreamHandle
 	tick  atomic.Int64
 
+	tr      *trace.Journal
+	auditor *trace.Auditor
+
 	workers    int
 	pool       *workerPool
 	shardTasks []func() // one per server shard, built once
@@ -221,10 +239,19 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Shards > 0 {
 		srv = server.NewSharded(cfg.Shards)
 	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.Default
+	}
+	srv.SetTrace(tr)
 	s := &System{
 		srv:     srv,
 		handles: make(map[string]*StreamHandle),
+		tr:      tr,
 		workers: cfg.Workers,
+	}
+	if cfg.Audit {
+		s.auditor = trace.NewAuditor(cfg.Telemetry, tr)
 	}
 	if s.workers < 1 {
 		s.workers = 1
@@ -265,6 +292,7 @@ type StreamHandle struct {
 	sys  *System
 	src  *source.Source
 	link *netsim.Link
+	norm Norm // gate norm, reused by the precision auditor
 }
 
 // Attach registers a stream and returns its source-side handle.
@@ -282,6 +310,7 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		DelayTicks: cfg.LinkDelayTicks,
 		DropProb:   cfg.LinkDropProb,
 		Seed:       cfg.LinkSeed,
+		Trace:      s.tr,
 	})
 	src, err := source.New(source.Config{
 		StreamID:       cfg.ID,
@@ -290,6 +319,7 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		DeviationNorm:  cfg.DeviationNorm,
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		ResyncEvery:    cfg.ResyncEvery,
+		Trace:          s.tr,
 	}, link.Send)
 	if err != nil {
 		_ = s.srv.Unregister(cfg.ID)
@@ -299,7 +329,7 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		_ = s.srv.Unregister(cfg.ID)
 		return nil, err
 	}
-	h := &StreamHandle{sys: s, src: src, link: link}
+	h := &StreamHandle{sys: s, src: src, link: link, norm: cfg.DeviationNorm}
 	if s.coord != nil {
 		if err := s.coord.Manage(src, resource.ManagedOptions{
 			Weight:   cfg.Weight,
@@ -392,9 +422,22 @@ func (s *System) Close() {
 }
 
 // Observe feeds one measurement for the current tick through the
-// stream's precision gate, reporting whether a correction was sent.
+// stream's precision gate, reporting whether a correction was sent. With
+// auditing enabled it then compares the ground truth against the answer
+// the server serves this tick, so δ violations (replica divergence under
+// link loss or delay) are counted the moment they become observable.
 func (h *StreamHandle) Observe(value []float64) (sent bool, err error) {
-	return h.src.Observe(h.sys.tick.Load()-1, value)
+	tick := h.sys.tick.Load() - 1
+	sent, err = h.src.Observe(tick, value)
+	if err != nil || h.sys.auditor == nil {
+		return sent, err
+	}
+	est, bound, aerr := h.sys.srv.PeekValue(h.src.StreamID())
+	if aerr != nil {
+		return sent, aerr
+	}
+	h.sys.auditor.Check(h.src.StreamID(), tick, h.norm.Deviation(value, est), bound, !sent)
+	return sent, nil
 }
 
 // Delta returns the stream's current precision bound.
@@ -532,6 +575,14 @@ func (s *System) StreamIDs() []string { return s.srv.StreamIDs() }
 
 // Info returns the server-side diagnostic snapshot for a stream.
 func (s *System) Info(id string) (server.StreamInfo, error) { return s.srv.Info(id) }
+
+// Auditor returns the online precision auditor, or nil when SystemConfig
+// .Audit was not set.
+func (s *System) Auditor() *trace.Auditor { return s.auditor }
+
+// TraceJournal returns the journal every layer of this system records
+// lifecycle events on (trace.Default unless SystemConfig.Trace was set).
+func (s *System) TraceJournal() *trace.Journal { return s.tr }
 
 // TotalMessages sums correction traffic across all uplinks.
 func (s *System) TotalMessages() int64 {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
+)
+
+// driveAudited runs one audited stream over a sine wave and returns the
+// system for inspection.
+func driveAudited(t *testing.T, j *trace.Journal, stream StreamConfig, ticks int) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{Trace: j, Audit: true, Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ticks; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{math.Sin(float64(i) / 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// TestLifecycleTraceLossFree drives a traced, audited system over a
+// loss-free link and checks (a) the journal covers every stage of the
+// lifecycle — gate, link, apply — with matching trace IDs, and (b) the
+// auditor reports zero δ violations, with its tick/suppression counts
+// reconciling exactly against the gate's own statistics.
+func TestLifecycleTraceLossFree(t *testing.T) {
+	j := trace.NewJournal(4, 8192)
+	j.SetEnabled(true)
+	const ticks = 400
+	sys := driveAudited(t, j, StreamConfig{
+		ID: "s", Predictor: KalmanRandomWalk(1e-4, 1e-3), Delta: 0.05,
+	}, ticks)
+
+	st := sys.Auditor().Stats("s")
+	gate := func() SourceStats {
+		h := sys.handles["s"]
+		return h.src.Stats()
+	}()
+	if st.Ticks != ticks || st.Ticks != gate.Ticks {
+		t.Fatalf("audited %d ticks, gate saw %d, want %d", st.Ticks, gate.Ticks, ticks)
+	}
+	if st.Suppressed != gate.Suppressed {
+		t.Fatalf("auditor suppressed %d, gate suppressed %d — counts must reconcile", st.Suppressed, gate.Suppressed)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("loss-free link produced %d δ violations", st.Violations)
+	}
+	if gate.Suppressed == 0 || gate.Sent == 0 {
+		t.Fatalf("degenerate run (sent=%d suppressed=%d) — test needs both outcomes", gate.Sent, gate.Suppressed)
+	}
+
+	// Every sent correction must have a complete gate → link → apply
+	// span under its trace ID.
+	var spans int
+	for _, ev := range j.StreamEvents("s") {
+		if ev.Stage != trace.StageGate || ev.TraceID == 0 {
+			continue
+		}
+		spans++
+		chain := j.TraceEvents(ev.TraceID)
+		var sawLink, sawApply bool
+		for _, e := range chain {
+			switch e.Stage {
+			case trace.StageLink:
+				if e.Outcome != trace.OutcomeDelivered {
+					t.Fatalf("loss-free link event %+v", e)
+				}
+				sawLink = true
+			case trace.StageApply:
+				sawApply = true
+			}
+		}
+		if !sawLink || !sawApply {
+			t.Fatalf("trace %d incomplete: link=%v apply=%v (%+v)", ev.TraceID, sawLink, sawApply, chain)
+		}
+	}
+	if int64(spans) != gate.Sent {
+		t.Fatalf("found %d traced sends, gate sent %d", spans, gate.Sent)
+	}
+
+	// Queries join the journal linked to the correction they serve from.
+	if _, err := sys.Value("s"); err != nil {
+		t.Fatal(err)
+	}
+	evs := j.StreamEvents("s")
+	q := evs[len(evs)-1]
+	if q.Stage != trace.StageQuery || q.TraceID == 0 {
+		t.Fatalf("query event = %+v, want StageQuery linked to a correction", q)
+	}
+}
+
+// TestAuditFlagsLossyLink checks the auditor detects real divergence:
+// with heavy loss and no resyncs, suppressed ticks eventually exceed δ.
+func TestAuditFlagsLossyLink(t *testing.T) {
+	j := trace.NewJournal(4, 4096)
+	j.SetEnabled(true)
+	sys := driveAudited(t, j, StreamConfig{
+		ID: "s", Predictor: StaticCache(1), Delta: 0.05,
+		LinkDropProb: 0.9, LinkSeed: 3,
+	}, 400)
+	st := sys.Auditor().Stats("s")
+	if st.Violations == 0 {
+		t.Fatal("90% loss produced no δ violations — auditor is blind")
+	}
+	// Violations surface in the journal as audit events.
+	var audits int
+	for _, ev := range j.StreamEvents("s") {
+		if ev.Stage == trace.StageAudit && ev.Outcome == trace.OutcomeViolation {
+			audits++
+		}
+	}
+	if int64(audits) != st.Violations {
+		t.Fatalf("journal shows %d violations, auditor counted %d", audits, st.Violations)
+	}
+}
+
+// TestAuditDisabledByDefault: without SystemConfig.Audit there is no
+// auditor and Observe takes no extra query.
+func TestAuditDisabledByDefault(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Auditor() != nil {
+		t.Fatal("auditor present without Audit flag")
+	}
+	if sys.TraceJournal() != trace.Default {
+		t.Fatal("default journal not trace.Default")
+	}
+}

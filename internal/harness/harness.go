@@ -16,6 +16,8 @@ import (
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // Config parameterizes an experiment run. The zero value means "paper
@@ -157,6 +159,21 @@ type RunStats struct {
 	// Violations checks the δ bound on suppressed ticks; its Count must
 	// be zero on unimpaired links.
 	Violations metrics.Violations
+	// Audit is the online precision auditor's independent view of the
+	// run: every tick's ground truth compared against the answer the
+	// server was serving. On loss-free links AuditClean() must hold.
+	Audit trace.AuditStats
+}
+
+// AuditClean reports whether the run has no unexplained δ violations:
+// the online auditor saw every tick, its suppression count reconciles
+// exactly with the gate's (ticks minus messages), and no suppressed tick
+// exceeded the served bound. Experiments on loss-free links assert this;
+// impaired-link experiments expect it to fail and report how.
+func (r RunStats) AuditClean() bool {
+	return r.Audit.Violations == 0 &&
+		r.Audit.Ticks == r.Ticks &&
+		r.Audit.Suppressed == r.Ticks-r.Messages
 }
 
 // SuppressionRatio is the fraction of ticks with no message.
@@ -192,6 +209,10 @@ func Run(spec predictor.Spec, delta float64, norm source.Norm, st stream.Stream)
 	}
 
 	stats := RunStats{Delta: delta}
+	// The auditor gets a private registry so experiment runs never bleed
+	// series into the process-wide default, and no journal — experiments
+	// need its counters, not its timeline.
+	auditor := trace.NewAuditor(telemetry.New(), trace.NewJournal(1, 1))
 	for {
 		p, ok := st.Next()
 		if !ok {
@@ -215,6 +236,7 @@ func Run(spec predictor.Spec, delta float64, norm source.Norm, st stream.Stream)
 			stats.SuppressedErr.AddScalar(dev)
 			stats.Violations.Check(dev, bound)
 		}
+		auditor.Check(id, p.Tick, dev, bound, !sent)
 		stats.Ticks++
 	}
 	s := src.Stats()
@@ -222,6 +244,7 @@ func Run(spec predictor.Spec, delta float64, norm source.Norm, st stream.Stream)
 	stats.Messages = s.Sent
 	stats.Bytes = ls.Bytes
 	stats.Heartbeats = s.Heartbeats
+	stats.Audit = auditor.Stats(id)
 	return stats, nil
 }
 

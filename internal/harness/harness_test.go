@@ -60,6 +60,18 @@ func TestRunCollectsStats(t *testing.T) {
 	if rs.Err.N() != 1000 {
 		t.Fatalf("error samples = %d", rs.Err.N())
 	}
+	// The online auditor's independent accounting must reconcile with
+	// the gate and report a clean loss-free run.
+	if !rs.AuditClean() {
+		t.Fatalf("loss-free run not audit-clean: audit=%+v ticks=%d messages=%d",
+			rs.Audit, rs.Ticks, rs.Messages)
+	}
+	if rs.Audit.Suppressed != rs.Ticks-rs.Messages {
+		t.Fatalf("audit suppressed %d, gate suppressed %d", rs.Audit.Suppressed, rs.Ticks-rs.Messages)
+	}
+	if rs.Audit.MaxRatio > 1 {
+		t.Fatalf("suppressed deviation reached %.3f of δ on a loss-free link", rs.Audit.MaxRatio)
+	}
 }
 
 // TestAllExperimentsRunSmoke runs every experiment at reduced scale and

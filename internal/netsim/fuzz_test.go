@@ -14,6 +14,11 @@ func FuzzDecode(f *testing.F) {
 		{Kind: KindHeartbeat, StreamID: "hb", Tick: -3},
 		{Kind: KindDeltaUpdate, StreamID: "d", Tick: 0, Value: []float64{0.25}},
 		{Kind: KindResync, StreamID: "r", Tick: 7, Value: []float64{1, 2, 3, 4}},
+		// Traced variants exercise the flag-bit extension of the kind
+		// byte; canonicality requires flagged messages to carry a
+		// nonzero trace id.
+		{Kind: KindCorrection, StreamID: "t", Tick: 2, Value: []float64{-0.5}, Trace: 0xDEADBEEF},
+		{Kind: KindResync, StreamID: "tr", Tick: 9, Value: []float64{1, 2}, Trace: 1},
 	}
 	for _, m := range seed {
 		buf, err := m.Encode()

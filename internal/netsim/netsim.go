@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // MessageKind discriminates protocol messages.
@@ -72,12 +73,26 @@ type Message struct {
 	// Value carries the measurement for corrections, or the new δ (one
 	// element) for delta updates.
 	Value []float64
+	// Trace is the in-band lifecycle trace ID (see internal/trace): 0
+	// when tracing is off, in which case it costs no wire bytes — the
+	// encoding only carries the ID (flagged on the kind byte) when it
+	// is nonzero, so message-count and byte-count experiment results
+	// are identical with tracing disabled.
+	Trace uint64
 }
+
+// tracedFlag marks a kind byte whose message carries a trace ID. Kinds
+// occupy the low bits (1..numKinds), leaving the top bit free.
+const tracedFlag = 0x80
 
 // EncodedSize returns the exact number of bytes Encode will produce.
 func (m *Message) EncodedSize() int {
-	// kind(1) + idLen(2) + id + tick(8) + valLen(2) + 8·len(Value)
-	return 1 + 2 + len(m.StreamID) + 8 + 2 + 8*len(m.Value)
+	// kind(1) [+ trace(8)] + idLen(2) + id + tick(8) + valLen(2) + 8·len(Value)
+	n := 1 + 2 + len(m.StreamID) + 8 + 2 + 8*len(m.Value)
+	if m.Trace != 0 {
+		n += 8
+	}
+	return n
 }
 
 // AppendEncode appends the message's wire encoding to buf and returns the
@@ -91,7 +106,14 @@ func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
 	if len(m.Value) > math.MaxUint16 {
 		return nil, fmt.Errorf("netsim: value too long (%d elements)", len(m.Value))
 	}
-	buf = append(buf, byte(m.Kind))
+	kind := byte(m.Kind)
+	if m.Trace != 0 {
+		kind |= tracedFlag
+	}
+	buf = append(buf, kind)
+	if m.Trace != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, m.Trace)
+	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.StreamID)))
 	buf = append(buf, m.StreamID...)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Tick))
@@ -119,14 +141,34 @@ func DecodeInto(m *Message, buf []byte) error {
 	if len(buf) < 3 {
 		return fmt.Errorf("netsim: message truncated (%d bytes)", len(buf))
 	}
-	m.Kind = MessageKind(buf[0])
+	kind := buf[0]
+	traced := kind&tracedFlag != 0
+	m.Kind = MessageKind(kind &^ tracedFlag)
 	switch m.Kind {
 	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync:
 	default:
 		return fmt.Errorf("netsim: unknown message kind %d", buf[0])
 	}
-	idLen := int(binary.BigEndian.Uint16(buf[1:3]))
-	rest := buf[3:]
+	buf = buf[1:]
+	m.Trace = 0
+	if traced {
+		if len(buf) < 8 {
+			return fmt.Errorf("netsim: traced message truncated")
+		}
+		m.Trace = binary.BigEndian.Uint64(buf[:8])
+		if m.Trace == 0 {
+			// The flag without an ID would make the encoding ambiguous
+			// (two byte strings for one message); reject it so every
+			// accepted message has exactly one canonical form.
+			return fmt.Errorf("netsim: traced message with zero trace id")
+		}
+		buf = buf[8:]
+	}
+	if len(buf) < 2 {
+		return fmt.Errorf("netsim: message truncated (no id length)")
+	}
+	idLen := int(binary.BigEndian.Uint16(buf[:2]))
+	rest := buf[2:]
 	if len(rest) < idLen+8+2 {
 		return fmt.Errorf("netsim: message truncated after header")
 	}
@@ -210,6 +252,10 @@ type LinkConfig struct {
 	// Telemetry receives the link's traffic counters; nil means
 	// telemetry.Default.
 	Telemetry *telemetry.Registry
+	// Trace receives transit events for traced messages; nil means
+	// trace.Default. Costs one atomic load per Send while tracing is
+	// disabled.
+	Trace *trace.Journal
 }
 
 // Link is a unidirectional channel that counts all traffic and delivers
@@ -234,6 +280,8 @@ type Link struct {
 	telBytes   *telemetry.Counter
 	telDropped *telemetry.Counter
 	telPending *telemetry.Gauge
+
+	tr *trace.Journal
 }
 
 type queued struct {
@@ -259,15 +307,36 @@ func NewLink(recv func(*Message), cfg LinkConfig) *Link {
 	l.telBytes = reg.Counter("link_bytes_total", "link", name)
 	l.telDropped = reg.Counter("link_dropped_total", "link", name)
 	l.telPending = reg.Gauge("link_pending", "link", name)
+	l.tr = cfg.Trace
+	if l.tr == nil {
+		l.tr = trace.Default
+	}
 	return l
+}
+
+// traceTransit records one link-stage event for a traced message.
+func (l *Link) traceTransit(m *Message, outcome trace.Outcome, delay float64) {
+	l.tr.Record(trace.Event{
+		TraceID:  m.Trace,
+		StreamID: m.StreamID,
+		Tick:     m.Tick,
+		Stage:    trace.StageLink,
+		Outcome:  outcome,
+		Value:    float64(m.EncodedSize()),
+		Aux:      delay,
+	})
 }
 
 // Send transmits m across the link. With no impairments the delivery is
 // synchronous.
 func (l *Link) Send(m *Message) {
+	traced := m.Trace != 0 && l.tr.Enabled()
 	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
 		l.dropped.Add(1)
 		l.telDropped.Inc()
+		if traced {
+			l.traceTransit(m, trace.OutcomeDropped, 0)
+		}
 		return
 	}
 	size := int64(m.EncodedSize())
@@ -279,8 +348,14 @@ func (l *Link) Send(m *Message) {
 	l.telMsgs.Inc()
 	l.telBytes.Add(size)
 	if l.cfg.DelayTicks <= 0 {
+		if traced {
+			l.traceTransit(m, trace.OutcomeDelivered, 0)
+		}
 		l.recv(m)
 		return
+	}
+	if traced {
+		l.traceTransit(m, trace.OutcomeEnqueued, float64(l.cfg.DelayTicks))
 	}
 	l.queue = append(l.queue, queued{deliverAt: l.nowLag + l.cfg.DelayTicks, msg: m})
 	l.telPending.Set(float64(len(l.queue)))
@@ -296,6 +371,9 @@ func (l *Link) Tick() {
 	n := 0
 	for _, q := range l.queue {
 		if q.deliverAt <= l.nowLag {
+			if q.msg.Trace != 0 && l.tr.Enabled() {
+				l.traceTransit(q.msg, trace.OutcomeDelivered, float64(l.cfg.DelayTicks))
+			}
 			l.recv(q.msg)
 		} else {
 			l.queue[n] = q

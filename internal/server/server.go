@@ -23,6 +23,7 @@ import (
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // Sentinel errors, matchable with errors.Is.
@@ -80,6 +81,9 @@ type streamState struct {
 	lastValueTick int64
 	// history, when non-nil, archives settled per-tick answers.
 	history *history
+	// lastTrace is the trace ID of the most recent applied correction,
+	// linking subsequent query events back to the state they serve from.
+	lastTrace uint64
 
 	// telemetry handles; nil unless the hosting server has a registry.
 	telQueries   *telemetry.Counter
@@ -102,6 +106,7 @@ type shard struct {
 type Server struct {
 	shards []*shard
 	tel    *telemetry.Registry
+	tr     *trace.Journal
 }
 
 // New returns an empty server with DefaultShards lock stripes.
@@ -114,7 +119,7 @@ func NewSharded(n int) *Server {
 	if n < 1 {
 		n = 1
 	}
-	s := &Server{shards: make([]*shard, n)}
+	s := &Server{shards: make([]*shard, n), tr: trace.Default}
 	for i := range s.shards {
 		s.shards[i] = &shard{streams: make(map[string]*streamState)}
 	}
@@ -161,6 +166,17 @@ func (s *Server) ShardSizes() []int {
 // the wire server and cmd/kfserver always set it.
 func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 	s.tel = reg
+}
+
+// SetTrace attaches a trace journal; applies and point queries record
+// lifecycle events on it when tracing is enabled (nil restores
+// trace.Default). While the journal is disabled each operation pays a
+// single atomic load. Call before concurrent use.
+func (s *Server) SetTrace(j *trace.Journal) {
+	if j == nil {
+		j = trace.Default
+	}
+	s.tr = j
 }
 
 // Register creates the server-side replica for a stream. The spec and the
@@ -269,6 +285,7 @@ func (s *Server) Apply(m *netsim.Message) error {
 		}
 		copy(st.lastValue, m.Value)
 		st.lastValueTick = st.tick
+		s.traceApply(st, m)
 		return nil
 	case netsim.KindResync:
 		dim := st.replica.Dim()
@@ -289,6 +306,7 @@ func (s *Server) Apply(m *netsim.Message) error {
 		}
 		copy(st.lastValue, m.Value[:dim])
 		st.lastValueTick = st.tick
+		s.traceApply(st, m)
 		return nil
 	case netsim.KindHeartbeat:
 		st.lastCorr = m.Tick
@@ -296,6 +314,34 @@ func (s *Server) Apply(m *netsim.Message) error {
 	default:
 		return fmt.Errorf("server: unexpected message kind %s", m.Kind)
 	}
+}
+
+// traceApply records one replica-update event under the shard write lock
+// (already held by Apply) and remembers the message's trace ID so later
+// query events can point at the correction they serve from. Untraced
+// messages still record an apply event when the journal is on, but leave
+// lastTrace alone: a traced query should keep pointing at the last traced
+// correction rather than lose its link.
+func (s *Server) traceApply(st *streamState, m *netsim.Message) {
+	if m.Trace != 0 {
+		st.lastTrace = m.Trace
+	}
+	if !s.tr.Enabled() {
+		return
+	}
+	var v float64
+	if len(m.Value) > 0 {
+		v = m.Value[0]
+	}
+	s.tr.Record(trace.Event{
+		TraceID:  m.Trace,
+		StreamID: st.id,
+		Tick:     st.tick,
+		Stage:    trace.StageApply,
+		Outcome:  trace.OutcomeApplied,
+		Value:    v,
+		Aux:      float64(st.tick - m.Tick), // apply lag in ticks
+	})
 }
 
 // get looks a stream up under the shard read lock and returns the state
@@ -328,6 +374,48 @@ func (s *Server) Value(id string) (estimate []float64, bound float64, err error)
 			st.telStaleness.Observe(float64(stale))
 		}
 	}
+	if st.lastValueTick == st.tick && st.lastValue != nil {
+		out := make([]float64, len(st.lastValue))
+		copy(out, st.lastValue)
+		s.traceQuery(st, out, 0)
+		return out, 0, nil
+	}
+	estimate = st.replica.Predict()
+	s.traceQuery(st, estimate, st.delta)
+	return estimate, st.delta, nil
+}
+
+// traceQuery records one query-serve event under the shard read lock
+// (already held by Value). The event's trace ID is the last applied
+// correction's, tying the answer to the state it was computed from.
+func (s *Server) traceQuery(st *streamState, estimate []float64, bound float64) {
+	if !s.tr.Enabled() {
+		return
+	}
+	var v float64
+	if len(estimate) > 0 {
+		v = estimate[0]
+	}
+	s.tr.Record(trace.Event{
+		TraceID:  st.lastTrace,
+		StreamID: st.id,
+		Tick:     st.tick,
+		Stage:    trace.StageQuery,
+		Outcome:  trace.OutcomeServed,
+		Value:    v,
+		Aux:      bound,
+	})
+}
+
+// PeekValue answers the same point query as Value but records no
+// telemetry and no trace events — the precision auditor's side channel,
+// so auditing a tick is invisible to the observability it feeds.
+func (s *Server) PeekValue(id string) (estimate []float64, bound float64, err error) {
+	sh, st, err := s.get(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer sh.mu.RUnlock()
 	if st.lastValueTick == st.tick && st.lastValue != nil {
 		out := make([]float64, len(st.lastValue))
 		copy(out, st.lastValue)

@@ -14,11 +14,13 @@ package source
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"kalmanstream/internal/mat"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // Norm selects the deviation norm used by the precision gate.
@@ -93,6 +95,10 @@ type Config struct {
 	// (corrections_sent_total, corrections_suppressed_total, …); nil means
 	// telemetry.Default.
 	Telemetry *telemetry.Registry
+	// Trace receives gate-decision lifecycle events and allocates the
+	// trace IDs shipped in-band on corrections; nil means trace.Default.
+	// While tracing is disabled the gate pays one atomic load per tick.
+	Trace *trace.Journal
 }
 
 // Stats counts the gate's decisions.
@@ -116,14 +122,26 @@ func (s Stats) SuppressionRatio() float64 {
 	return float64(s.Suppressed) / float64(s.Ticks)
 }
 
-// Source is the client-side gate for a single stream.
+// Source is the client-side gate for a single stream. Observe must be
+// called from one goroutine at a time, but Stats, Delta, and Prediction
+// readers may run concurrently with it: every counter Stats reports is
+// atomic.
 type Source struct {
 	cfg     Config
 	replica predictor.Predictor
 	send    func(*netsim.Message)
+	tr      *trace.Journal
 
-	run   int64 // consecutive suppressed ticks
-	stats Stats
+	run int64 // consecutive suppressed ticks (Observe-goroutine only)
+
+	// Gate counters. Atomic so Stats() taken from a monitoring
+	// goroutine is a coherent snapshot rather than a racy copy.
+	ticks          atomic.Int64
+	sent           atomic.Int64
+	suppressed     atomic.Int64
+	heartbeats     atomic.Int64
+	resyncs        atomic.Int64
+	maxSuppDevBits atomic.Uint64
 
 	// Telemetry handles, resolved once at construction so the per-tick
 	// cost is a few atomic adds.
@@ -154,10 +172,15 @@ func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
 	if reg == nil {
 		reg = telemetry.Default
 	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.Default
+	}
 	s := &Source{
 		cfg:           cfg,
 		replica:       replica,
 		send:          send,
+		tr:            tr,
 		telSent:       reg.Counter("corrections_sent_total", "stream", cfg.StreamID),
 		telSuppressed: reg.Counter("corrections_suppressed_total", "stream", cfg.StreamID),
 		telHeartbeats: reg.Counter("heartbeats_total", "stream", cfg.StreamID),
@@ -177,21 +200,31 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 		return false, fmt.Errorf("source %s: measurement dim %d, want %d", s.cfg.StreamID, len(z), s.replica.Dim())
 	}
 	s.replica.Step()
-	s.stats.Ticks++
+	s.ticks.Add(1)
 
 	pred := s.replica.Predict()
 	dev := s.cfg.DeviationNorm.Deviation(z, pred)
 	if s.cfg.Delta > 0 {
 		s.telDeviation.Observe(dev / s.cfg.Delta)
 	}
+	traced := s.tr.Enabled()
 
 	heartbeatDue := s.cfg.HeartbeatEvery > 0 && s.run >= s.cfg.HeartbeatEvery
 	if dev <= s.cfg.Delta && !heartbeatDue {
 		s.run++
-		s.stats.Suppressed++
+		s.suppressed.Add(1)
 		s.telSuppressed.Inc()
-		if dev > s.stats.MaxSuppressedDeviation {
-			s.stats.MaxSuppressedDeviation = dev
+		for {
+			old := s.maxSuppDevBits.Load()
+			if dev <= math.Float64frombits(old) {
+				break
+			}
+			if s.maxSuppDevBits.CompareAndSwap(old, math.Float64bits(dev)) {
+				break
+			}
+		}
+		if traced {
+			s.traceGate(trace.OutcomeSuppressed, 0, tick, dev)
 		}
 		return false, nil
 	}
@@ -208,25 +241,48 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 		Tick:     tick,
 		Value:    mat.VecClone(z),
 	}
-	if s.cfg.ResyncEvery > 0 && (s.stats.Sent+1)%s.cfg.ResyncEvery == 0 {
+	outcome := trace.OutcomeSent
+	if s.cfg.ResyncEvery > 0 && (s.sent.Load()+1)%s.cfg.ResyncEvery == 0 {
 		// Upgrade to a resync: the measurement followed by the full
 		// post-correction snapshot, so a server that missed earlier
 		// corrections lands exactly on this replica's state.
 		snap := s.replica.(predictor.Snapshotter).Snapshot()
 		msg.Kind = netsim.KindResync
 		msg.Value = append(mat.VecClone(z), snap...)
-		s.stats.Resyncs++
+		s.resyncs.Add(1)
 		s.telResyncs.Inc()
+		outcome = trace.OutcomeResync
+	}
+	if traced {
+		msg.Trace = s.tr.NextTraceID()
+		if heartbeatDue && dev <= s.cfg.Delta {
+			outcome = trace.OutcomeHeartbeat
+		}
+		s.traceGate(outcome, msg.Trace, tick, dev)
 	}
 	s.send(msg)
 	s.run = 0
-	s.stats.Sent++
+	s.sent.Add(1)
 	s.telSent.Inc()
 	if heartbeatDue && dev <= s.cfg.Delta {
-		s.stats.Heartbeats++
+		s.heartbeats.Add(1)
 		s.telHeartbeats.Inc()
 	}
 	return true, nil
+}
+
+// traceGate records one gate-decision event. The deviation/δ pair is
+// the ground-truth-vs-replica comparison the online auditor consumes.
+func (s *Source) traceGate(outcome trace.Outcome, traceID uint64, tick int64, dev float64) {
+	s.tr.Record(trace.Event{
+		TraceID:  traceID,
+		StreamID: s.cfg.StreamID,
+		Tick:     tick,
+		Stage:    trace.StageGate,
+		Outcome:  outcome,
+		Value:    dev,
+		Aux:      s.cfg.Delta,
+	})
 }
 
 // SetDelta changes the precision bound, e.g. on a delta-update from the
@@ -246,8 +302,18 @@ func (s *Source) Delta() float64 { return s.cfg.Delta }
 // StreamID returns the stream identifier.
 func (s *Source) StreamID() string { return s.cfg.StreamID }
 
-// Stats returns a snapshot of the gate counters.
-func (s *Source) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the gate counters. Safe to call from any
+// goroutine while Observe runs.
+func (s *Source) Stats() Stats {
+	return Stats{
+		Ticks:                  s.ticks.Load(),
+		Sent:                   s.sent.Load(),
+		Suppressed:             s.suppressed.Load(),
+		Heartbeats:             s.heartbeats.Load(),
+		Resyncs:                s.resyncs.Load(),
+		MaxSuppressedDeviation: math.Float64frombits(s.maxSuppDevBits.Load()),
+	}
+}
 
 // Prediction returns what the server is currently predicting for this
 // stream (the replica's view) — useful for diagnostics and tests.

@@ -2,10 +2,13 @@ package source
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 func staticSpec() predictor.Spec { return predictor.Spec{Kind: predictor.KindStatic, Dim: 1} }
@@ -227,5 +230,114 @@ func TestPredictionMatchesGateView(t *testing.T) {
 	}
 	if s.StreamID() != "s" {
 		t.Fatal("StreamID wrong")
+	}
+}
+
+// TestStatsConcurrentWithObserve reads Stats from monitoring goroutines
+// while Observe runs — the racy-copy bug this guards against is only
+// visible under -race.
+func TestStatsConcurrentWithObserve(t *testing.T) {
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 0.5, HeartbeatEvery: 10, ResyncEvery: 3}, func(*netsim.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 5000
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					st := s.Stats()
+					if st.Sent+st.Suppressed > st.Ticks {
+						t.Errorf("incoherent stats snapshot: %+v", st)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < ticks; i++ {
+		if _, err := s.Observe(int64(i), []float64{math.Sin(float64(i) / 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	st := s.Stats()
+	if st.Ticks != ticks || st.Sent+st.Suppressed != ticks {
+		t.Fatalf("final stats = %+v, want %d ticks fully accounted", st, ticks)
+	}
+	if st.MaxSuppressedDeviation > 0.5 {
+		t.Fatalf("suppressed deviation %g exceeds delta", st.MaxSuppressedDeviation)
+	}
+}
+
+// TestGateTracing checks every gate outcome lands in the journal with a
+// deviation/δ pair, and that sent corrections carry the journal's trace
+// ID in-band.
+func TestGateTracing(t *testing.T) {
+	j := trace.NewJournal(1, 64)
+	j.SetEnabled(true)
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 2, Trace: j}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []float64{10, 11, 20} // sent, suppressed, sent
+	for i, v := range seq {
+		if _, err := s.Observe(int64(i), []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := j.StreamEvents("s")
+	if len(evs) != 3 {
+		t.Fatalf("journal has %d gate events, want 3: %+v", len(evs), evs)
+	}
+	wantOutcomes := []trace.Outcome{trace.OutcomeSent, trace.OutcomeSuppressed, trace.OutcomeSent}
+	for i, ev := range evs {
+		if ev.Stage != trace.StageGate || ev.Outcome != wantOutcomes[i] || ev.Aux != 2 {
+			t.Fatalf("event %d = %+v, want %v with δ=2", i, ev, wantOutcomes[i])
+		}
+	}
+	if evs[1].TraceID != 0 {
+		t.Fatalf("suppressed tick allocated trace id %d", evs[1].TraceID)
+	}
+	if len(msgs) != 2 || msgs[0].Trace == 0 || msgs[0].Trace != evs[0].TraceID || msgs[1].Trace != evs[2].TraceID {
+		t.Fatalf("messages do not carry the journal trace ids: msgs=%+v evs=%+v", msgs, evs)
+	}
+	// The suppressed tick's deviation must be what the auditor needs.
+	if evs[1].Value != 1 { // |11 - 10|
+		t.Fatalf("suppressed deviation = %g, want 1", evs[1].Value)
+	}
+}
+
+// TestObserveDisabledTraceZeroAlloc: with tracing off, a suppressed tick
+// must not allocate beyond the predictor's own Predict() clone (exactly
+// one, predating tracing) — the near-zero-overhead requirement.
+func TestObserveDisabledTraceZeroAlloc(t *testing.T) {
+	j := trace.NewJournal(1, 8) // disabled
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 100, Telemetry: telemetry.New(), Trace: j}, func(*netsim.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{1}); err != nil { // prime: first tick may send
+		t.Fatal(err)
+	}
+	z := []float64{1}
+	var tick int64 = 1
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.Observe(tick, z); err != nil {
+			t.Fatal(err)
+		}
+		tick++
+	})
+	if allocs > 1 {
+		t.Errorf("suppressed tick with tracing disabled allocated %.1f times per op, want ≤1 (Predict clone only)", allocs)
 	}
 }

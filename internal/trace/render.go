@@ -1,0 +1,148 @@
+// Timeline rendering and the /debug/trace HTTP surface. The JSON form
+// is for tools (streamkf trace fetches it); the text form is the
+// human-facing per-stream timeline: one line per event, pipeline stages
+// aligned so a correction's journey gate → link → apply → query reads
+// top to bottom.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Detail renders the stage-specific human reading of an event's
+// Value/Aux pair.
+func (e Event) Detail() string {
+	switch e.Stage {
+	case StageGate:
+		return fmt.Sprintf("dev %.4g / δ %.4g", e.Value, e.Aux)
+	case StageLink:
+		if e.Outcome == OutcomeEnqueued {
+			return fmt.Sprintf("%d bytes, delay %g ticks", int64(e.Value), e.Aux)
+		}
+		return fmt.Sprintf("%d bytes", int64(e.Value))
+	case StageApply:
+		return fmt.Sprintf("value %.4g", e.Value)
+	case StageQuery:
+		return fmt.Sprintf("est %.4g ± %.4g", e.Value, e.Aux)
+	case StageAudit:
+		return fmt.Sprintf("err %.4g > bound %.4g", e.Value, e.Aux)
+	default:
+		return ""
+	}
+}
+
+// WriteTimeline renders events as a text timeline. The caller chooses
+// the slice (a stream's events, a trace's events, or a full snapshot).
+func WriteTimeline(w io.Writer, events []Event) error {
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "(no trace events)\n")
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %-14s %6s  %-5s  %-10s  %-8s  %s\n",
+		"tick", "stream", "seq", "stage", "outcome", "trace", "detail")
+	for _, e := range events {
+		trace := "-"
+		if e.TraceID != 0 {
+			trace = strconv.FormatUint(e.TraceID, 16)
+		}
+		fmt.Fprintf(&b, "%8d  %-14s %6d  %-5s  %-10s  %-8s  %s\n",
+			e.Tick, e.StreamID, e.Seq, e.Stage, e.Outcome, trace, e.Detail())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Dump is the JSON shape served at /debug/trace and consumed by
+// `streamkf trace -addr`.
+type Dump struct {
+	Enabled  bool   `json:"enabled"`
+	Recorded uint64 `json:"recorded"`
+	Retained int    `json:"retained"`
+	// Stream echoes the ?stream= filter, if any.
+	Stream string       `json:"stream,omitempty"`
+	Events []Event      `json:"events"`
+	Audit  []AuditStats `json:"audit,omitempty"`
+}
+
+// Handler serves the journal (and, when auditor is non-nil, the audit
+// verdicts) over HTTP. Query parameters: ?stream=ID filters to one
+// stream, ?trace=HEXID to one trace, ?n=N caps the event count (most
+// recent wins; default 1000), ?format=text renders the human timeline
+// instead of JSON.
+func Handler(j *Journal, auditor *Auditor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var events []Event
+		switch {
+		case q.Get("trace") != "":
+			id, err := strconv.ParseUint(q.Get("trace"), 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			events = j.TraceEvents(id)
+		case q.Get("stream") != "":
+			events = j.StreamEvents(q.Get("stream"))
+		default:
+			events = j.Snapshot()
+		}
+		limit := 1000
+		if s := q.Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		if len(events) > limit {
+			events = events[len(events)-limit:]
+		}
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !j.Enabled() {
+				fmt.Fprintln(w, "tracing disabled (start the server with -trace)")
+			}
+			_ = WriteTimeline(w, events)
+			if auditor != nil {
+				fmt.Fprintln(w)
+				writeAuditText(w, auditor.All())
+			}
+			return
+		}
+		dump := Dump{
+			Enabled:  j.Enabled(),
+			Recorded: j.Recorded(),
+			Retained: j.Len(),
+			Stream:   q.Get("stream"),
+			Events:   events,
+		}
+		if auditor != nil {
+			dump.Audit = auditor.All()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump)
+	})
+}
+
+// writeAuditText renders audit snapshots as an aligned text block.
+func writeAuditText(w io.Writer, stats []AuditStats) {
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "(no audit data)")
+		return
+	}
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s\n", "stream", "ticks", "suppr", "violations", "max err/δ")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-14s %10d %10d %10d %10.4f\n",
+			s.StreamID, s.Ticks, s.Suppressed, s.Violations, s.MaxRatio)
+	}
+}

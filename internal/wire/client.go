@@ -9,6 +9,7 @@ import (
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
+	"kalmanstream/internal/trace"
 )
 
 // Client is one TCP connection to a wire server. A source process uses
@@ -113,6 +114,22 @@ func (c *Client) Query(id string, tick int64) (AnswerPayload, error) {
 	return ans, nil
 }
 
+// SendTrace ships a batch of lifecycle trace events; fire-and-forget,
+// like corrections. An empty batch writes nothing.
+func (c *Client) SendTrace(evs []trace.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	buf, err := json.Marshal(evs)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.bw, FrameTrace, buf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
 // Metrics fetches the server's telemetry snapshot as Prometheus text —
 // the wire-native way to observe a server with no HTTP listener.
 func (c *Client) Metrics() (string, error) {
@@ -129,11 +146,26 @@ func (c *Client) Metrics() (string, error) {
 	return string(payload), nil
 }
 
+// TraceFlushEvery is the default observation interval at which a traced
+// NetworkedSource drains its private journal to the server. Batching
+// amortizes the JSON frame: tracing adds at most one frame per interval,
+// and suppressed-tick gate events (which produce no correction traffic)
+// still reach the server's auditor within a bounded lag.
+const TraceFlushEvery = 64
+
 // NetworkedSource binds a local precision gate to a remote server: the
-// gate's corrections go out over the client connection.
+// gate's corrections go out over the client connection. When cfg.Trace
+// names a private journal (one this process enables and does not share),
+// the gate's lifecycle events are drained and shipped to the server as
+// FrameTrace batches every TraceFlushEvery observations and on Close.
 type NetworkedSource struct {
 	client *Client
 	src    *source.Source
+	// journal is cfg.Trace when explicitly set; nil otherwise. Only an
+	// explicit journal is drained over the wire — draining the shared
+	// trace.Default would steal events from other streams in-process.
+	journal *trace.Journal
+	ticks   int64
 	// sendErr holds the first transport error; surfaced on Observe.
 	sendErr error
 }
@@ -144,7 +176,7 @@ func NewNetworkedSource(client *Client, cfg source.Config) (*NetworkedSource, er
 	if err := client.Register(cfg.StreamID, cfg.Spec, cfg.Delta); err != nil {
 		return nil, err
 	}
-	ns := &NetworkedSource{client: client}
+	ns := &NetworkedSource{client: client, journal: cfg.Trace}
 	src, err := source.New(cfg, func(m *netsim.Message) {
 		if err := client.SendCorrection(m); err != nil && ns.sendErr == nil {
 			ns.sendErr = err
@@ -167,7 +199,25 @@ func (ns *NetworkedSource) Observe(tick int64, z []float64) (sent bool, err erro
 	if ns.sendErr != nil {
 		return sent, fmt.Errorf("wire: correction send failed: %w", ns.sendErr)
 	}
+	if ns.journal != nil && ns.journal.Enabled() {
+		if ns.ticks++; ns.ticks%TraceFlushEvery == 0 {
+			if err := ns.FlushTrace(); err != nil {
+				return sent, err
+			}
+		}
+	}
 	return sent, nil
+}
+
+// FlushTrace drains the private trace journal and ships the batch to the
+// server as one fire-and-forget frame. No-op without an explicit
+// journal or when nothing has been recorded. Call once after the last
+// Observe so the server's auditor sees the final partial batch.
+func (ns *NetworkedSource) FlushTrace() error {
+	if ns.journal == nil {
+		return nil
+	}
+	return ns.client.SendTrace(ns.journal.Drain())
 }
 
 // Stats exposes the gate counters.

@@ -44,6 +44,13 @@ const (
 	// FrameMetricsReply carries the snapshot as Prometheus text
 	// exposition (server → client).
 	FrameMetricsReply
+	// FrameTrace carries a JSON batch of trace.Event lifecycle records
+	// (client → server), fire-and-forget like corrections: the source's
+	// gate decisions — including suppressed ticks, which produce no
+	// correction traffic — reach the server's journal and precision
+	// auditor in-band, batched so tracing adds at most one frame per
+	// flush rather than one per tick.
+	FrameTrace
 )
 
 // FrameName returns a short human-readable name for a frame type, used
@@ -66,6 +73,8 @@ func FrameName(typ uint8) string {
 		return "metrics"
 	case FrameMetricsReply:
 		return "metrics-reply"
+	case FrameTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("unknown(%d)", typ)
 	}

@@ -2,8 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"testing"
+
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // FuzzReadFrame feeds arbitrary byte streams to the frame reader: it must
@@ -15,6 +19,17 @@ func FuzzReadFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(good.Bytes())
+	var traced bytes.Buffer
+	batch, err := json.Marshal([]trace.Event{
+		{TraceID: 7, StreamID: "s", Tick: 3, Stage: trace.StageGate, Outcome: trace.OutcomeSuppressed, Value: 0.4, Aux: 0.5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrame(&traced, FrameTrace, batch); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
@@ -36,6 +51,45 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if typ2 != typ || !bytes.Equal(payload2, payload) {
 			t.Fatal("round trip changed the frame")
+		}
+	})
+}
+
+// FuzzTraceBatch pushes arbitrary bytes through the FrameTrace ingest
+// path — JSON decode, journal ingest, auditor ingest. It must never
+// panic regardless of what stages, outcomes, or values a hostile peer
+// invents.
+func FuzzTraceBatch(f *testing.F) {
+	good, err := json.Marshal([]trace.Event{
+		{TraceID: 1, StreamID: "a", Tick: 0, Stage: trace.StageGate, Outcome: trace.OutcomeSent, Value: 1.5, Aux: 0.5},
+		{StreamID: "a", Tick: 1, Stage: trace.StageGate, Outcome: trace.OutcomeSuppressed, Value: 0.9, Aux: 0.5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"stage":255,"outcome":255,"stream":"","value":1e308,"aux":-1}]`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var evs []trace.Event
+		if err := json.Unmarshal(data, &evs); err != nil {
+			return
+		}
+		j := trace.NewJournal(1, 64)
+		j.SetEnabled(true)
+		a := trace.NewAuditor(telemetry.New(), j)
+		for i := range evs {
+			j.Ingest(evs[i])
+			a.Ingest(evs[i])
+		}
+		if got := j.Recorded(); got != uint64(len(evs)) {
+			// Auditor violations append StageAudit events on top of the
+			// ingested ones; recorded count must never be below the batch.
+			if got < uint64(len(evs)) {
+				t.Fatalf("ingested %d events, journal recorded %d", len(evs), got)
+			}
 		}
 	})
 }

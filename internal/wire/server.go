@@ -16,6 +16,7 @@ import (
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
 )
 
 // RegisterPayload announces a stream to the server; the source and server
@@ -67,6 +68,8 @@ type Server struct {
 	Logf func(format string, args ...any)
 
 	reg     *telemetry.Registry
+	tr      *trace.Journal
+	auditor *trace.Auditor
 	connSeq atomic.Int64
 
 	telConns       *telemetry.Counter
@@ -81,6 +84,10 @@ type Options struct {
 	Logger *slog.Logger
 	// Metrics is the telemetry registry (default telemetry.Default).
 	Metrics *telemetry.Registry
+	// Trace is the lifecycle trace journal (default trace.Default).
+	// Replica applies and queries record events on it when enabled, and
+	// FrameTrace batches from sources are ingested into it.
+	Trace *trace.Journal
 }
 
 // NewServer returns an empty wire server instrumented against
@@ -95,10 +102,17 @@ func NewServerWith(opts Options) *Server {
 	if reg == nil {
 		reg = telemetry.Default
 	}
+	tr := opts.Trace
+	if tr == nil {
+		tr = trace.Default
+	}
 	core := server.New()
 	core.SetTelemetry(reg)
+	core.SetTrace(tr)
 	s := &Server{
 		srv:            core,
+		tr:             tr,
+		auditor:        trace.NewAuditor(reg, tr),
 		advanced:       make(map[string]int64),
 		streams:        make(map[string]*streamTel),
 		Logger:         opts.Logger,
@@ -117,6 +131,15 @@ func NewServerWith(opts Options) *Server {
 
 // Registry returns the server's telemetry registry.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Trace returns the server's lifecycle trace journal.
+func (s *Server) Trace() *trace.Journal { return s.tr }
+
+// Auditor returns the server's online precision auditor. It consumes the
+// gate events sources ship via FrameTrace, counting δ violations —
+// suppressed ticks whose deviation exceeded the bound the server was
+// promising at the time.
+func (s *Server) Auditor() *trace.Auditor { return s.auditor }
 
 // logw emits one structured diagnostic record at Warn level, routing
 // through the legacy Logf hook when set.
@@ -331,6 +354,19 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte, msg *netsim.
 			return err
 		}
 		return s.writeFrame(conn, FrameAnswer, buf)
+	case FrameTrace:
+		var evs []trace.Event
+		if err := json.Unmarshal(payload, &evs); err != nil {
+			return fmt.Errorf("wire: bad trace payload: %w", err)
+		}
+		// Fire-and-forget, like corrections. The journal keeps the events
+		// only while tracing is enabled; the auditor always consumes gate
+		// decisions so δ-violation counters work without the ring.
+		for i := range evs {
+			s.tr.Ingest(evs[i])
+			s.auditor.Ingest(evs[i])
+		}
+		return nil
 	case FrameMetrics:
 		text, err := s.MetricsText()
 		if err != nil {
