@@ -16,12 +16,35 @@ BENCH_BASE ?= BENCH_PR2.json
 BENCH_GATE ?= SystemScale|MessageRoundTrip
 BENCH_MAXREGRESS ?= 10
 
-.PHONY: check vet build test race benchsmoke bench bench-compare
+.PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke
 
-check: vet build race benchsmoke
+check: lint build race benchsmoke
 
 vet:
 	$(GO) vet ./...
+
+# lint is the exact command CI's lint job runs. staticcheck and
+# govulncheck are optional locally — the target skips (with a notice)
+# any tool not on PATH, so a stock Go toolchain can still run
+# `make lint` and CI, which installs both, gets the full set.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
+
+# chaos-smoke runs the deterministic fault-injection scenario (loss
+# burst, partition+heal, uplink blackout) and fails unless the protocol
+# re-converges within the recovery window. The summary lands in
+# chaos_summary.txt; CI uploads it as an artifact.
+chaos-smoke:
+	$(GO) run ./cmd/streamkf chaos -out chaos_summary.txt
 
 build:
 	$(GO) build ./...

@@ -18,6 +18,12 @@
 // Usage:
 //
 //	kfserver [-addr :9653] [-http :9654] [-trace] [-logjson]
+//	         [-stale-after 5s]
+//
+// -stale-after arms the staleness watchdog: a registered stream with no
+// traffic for that long is marked stale (streams_stale gauge) and its
+// source is pushed a resync request over its own connection, repeating
+// until traffic resumes. Zero (the default) leaves the watchdog off.
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics, /debug/vars, /debug/trace, and /debug/pprof/ (e.g. :9654)")
 	traceOn := flag.Bool("trace", false, "enable the lifecycle trace journal (browse at /debug/trace)")
 	traceCap := flag.Int("trace-buf", trace.DefaultCapacity, "trace ring capacity per shard (newest events win)")
+	staleAfter := flag.Duration("stale-after", 0, "mark a stream stale and push resync requests after this much silence (0 = watchdog off)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -55,8 +62,15 @@ func main() {
 	}
 	journal := trace.NewJournal(trace.DefaultShards, *traceCap)
 	journal.SetEnabled(*traceOn)
-	srv := wire.NewServerWith(wire.Options{Logger: logger, Metrics: telemetry.Default, Trace: journal})
-	logger.Info("listening", "addr", l.Addr().String(), "trace", *traceOn)
+	srv := wire.NewServerWith(wire.Options{
+		Logger:     logger,
+		Metrics:    telemetry.Default,
+		Trace:      journal,
+		StaleAfter: *staleAfter,
+	})
+	defer srv.StopWatchdog()
+	logger.Info("listening", "addr", l.Addr().String(), "trace", *traceOn,
+		"stale-after", staleAfter.String())
 
 	if *httpAddr != "" {
 		go serveHTTP(*httpAddr, srv, logger)

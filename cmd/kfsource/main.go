@@ -7,12 +7,20 @@
 //
 //	kfsource [-addr localhost:9653] [-id sensor-1] [-kind sine]
 //	         [-delta 0.5] [-n 10000] [-seed 1] [-interval 0] [-trace]
+//	         [-reconnect] [-retry-max 8] [-retry-base 50ms] [-retry-cap 2s]
 //
 // -interval sets a real-time delay between ticks (e.g. 10ms); the default
 // of 0 replays as fast as possible. -trace journals every gate decision
 // locally and ships the batches in-band to the server, whose /debug/trace
 // endpoint then shows the full gate → apply → query lifecycle and whose
 // precision auditor counts δ violations; a final audit line prints here.
+//
+// -reconnect arms automatic reconnection: a dropped connection is
+// redialed with capped exponential backoff and jitter, the registration
+// is replayed (the server resumes the surviving replica), and the gate
+// force-resyncs on the next tick so any corrections lost with the old
+// connection stop mattering. -retry-max/-retry-base/-retry-cap tune the
+// dial budget and backoff window.
 package main
 
 import (
@@ -39,6 +47,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	interval := flag.Duration("interval", 0, "real-time delay between ticks")
 	traceOn := flag.Bool("trace", false, "journal gate decisions and ship them to the server in-band")
+	reconnect := flag.Bool("reconnect", false, "redial dropped connections with exponential backoff and resume the stream")
+	retryMax := flag.Int("retry-max", wire.DefaultDialAttempts, "consecutive failed dials before giving up (negative = forever)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first reconnect backoff step")
+	retryCap := flag.Duration("retry-cap", 2*time.Second, "reconnect backoff ceiling")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).
@@ -73,11 +85,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	client, err := wire.Dial(*addr)
+	var client *wire.Client
+	var err error
+	if *reconnect {
+		client, err = wire.DialReconnecting(*addr, wire.ReconnectPolicy{
+			MaxAttempts: *retryMax,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryCap,
+			Seed:        *seed,
+		})
+	} else {
+		client, err = wire.Dial(*addr)
+	}
 	if err != nil {
 		logger.Error("dial failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
+	client.Logger = logger
 
 	var journal *trace.Journal
 	cfg := source.Config{

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kalmanstream/internal/chaos"
+)
+
+// cmdChaos runs a deterministic fault schedule through the pipeline and
+// reports the bounded-staleness verdict. The default schedule is the
+// suite's headline scenario: a 5% loss burst, a partition that heals,
+// and an uplink-only blackout that only the watchdog loop can heal.
+// Exits nonzero when the run does not recover, so CI can gate on it.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	ticks := fs.Int64("ticks", 4500, "run length in ticks")
+	seed := fs.Int64("seed", 1, "generator and link seed")
+	delta := fs.Float64("delta", 0.5, "precision bound δ")
+	heartbeat := fs.Int64("heartbeat", 25, "gate heartbeat interval (watchdog deadline derives as 2x)")
+	deadline := fs.Int64("deadline", 0, "explicit watchdog deadline in ticks (0 = derive, negative = off)")
+	window := fs.Int64("window", 0, "recovery window after the last fault clears (0 = 4x deadline)")
+	schedule := fs.String("schedule", "", "fault schedule as name:from:until:kind[:p] entries separated by commas; kinds: drop, delay, dup, reorder, partition, fbdrop (empty = built-in scenario)")
+	out := fs.String("out", "", "also write the summary to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sched := chaos.Schedule{
+		{Name: "loss-burst", From: 500, Until: 1500, DropProb: 0.05},
+		{Name: "partition", From: 2000, Until: 2400, Partition: true},
+		{Name: "uplink-blackout", From: 2900, Until: 3300, DropProb: 1},
+	}
+	if *schedule != "" {
+		var err error
+		if sched, err = parseSchedule(*schedule); err != nil {
+			return err
+		}
+	}
+
+	rep, err := chaos.Run(chaos.Config{
+		Ticks:            *ticks,
+		Seed:             *seed,
+		Delta:            *delta,
+		HeartbeatEvery:   *heartbeat,
+		WatchdogDeadline: *deadline,
+		RecoveryWindow:   *window,
+		Schedule:         sched,
+	})
+	if err != nil {
+		return err
+	}
+
+	var b strings.Builder
+	b.WriteString("schedule:\n")
+	for _, f := range sched {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	b.WriteString(rep.Summary())
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.Recovered {
+		return fmt.Errorf("chaos: precision not restored within %d ticks of the last fault clearing at %d (last violation tick %d)",
+			rep.RecoveryWindow, rep.ClearTick, rep.LastViolation)
+	}
+	return nil
+}
+
+// parseSchedule decodes the -schedule DSL: comma-separated entries of
+// name:from:until:kind[:p], e.g.
+// "loss:100:600:drop:0.05,cut:1000:1200:partition".
+func parseSchedule(s string) (chaos.Schedule, error) {
+	var sched chaos.Schedule
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 4 {
+			return nil, fmt.Errorf("chaos: bad schedule entry %q (want name:from:until:kind[:p])", entry)
+		}
+		from, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad from in %q: %w", entry, err)
+		}
+		until, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad until in %q: %w", entry, err)
+		}
+		f := chaos.Fault{Name: parts[0], From: from, Until: until}
+		var p float64
+		if len(parts) > 4 {
+			if p, err = strconv.ParseFloat(parts[4], 64); err != nil {
+				return nil, fmt.Errorf("chaos: bad parameter in %q: %w", entry, err)
+			}
+		}
+		switch parts[3] {
+		case "drop":
+			f.DropProb = p
+		case "delay":
+			f.DelayTicks = int(p)
+		case "dup":
+			f.DuplicateProb = p
+		case "reorder":
+			f.ReorderProb = p
+		case "partition":
+			f.Partition = true
+		case "fbdrop":
+			f.FeedbackDropProb = p
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault kind %q in %q", parts[3], entry)
+		}
+		sched = append(sched, f)
+	}
+	return sched, nil
+}

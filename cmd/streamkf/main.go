@@ -42,6 +42,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "selfcheck":
 		err = cmdSelfcheck(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,6 +80,13 @@ commands:
                                     (gate → link → apply → query) + audit
   selfcheck [-seed S]               verify the protocol invariants (hard
                                     bound, replica lock-step, composition)
+  chaos [-ticks N] [-seed S] [-schedule SPEC] [-out FILE]
+                                    drive a deterministic fault schedule
+                                    (loss, delay, reorder, duplicate,
+                                    partition) through the pipeline and
+                                    verify bounded-staleness recovery;
+                                    exits nonzero when precision is not
+                                    restored within the window
                                     on this machine's floating point
 trace kinds: random-walk, linear-drift, sine, ou, regime, network, gbm, waypoint2d
 replay methods: cache, dead-reckoning, ewma, kalman-rw, kalman-cv, kalman-bank, all

@@ -1,0 +1,356 @@
+// Package chaos drives deterministic fault schedules through the
+// dual-predictor pipeline and asserts bounded-staleness recovery: after
+// the last fault clears, the online precision audit must go quiet — no
+// further δ violations — within a configurable window. Faults are
+// injected by mutating a stream's netsim links between ticks (loss
+// bursts, delay spikes, reordering, duplication, full partitions), so a
+// run is exactly reproducible from its seed and schedule.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"kalmanstream/internal/core"
+	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
+)
+
+// Fault is one impairment episode on the stream's links, active on
+// ticks in [From, Until). Overlapping faults compose: they are applied
+// in schedule order each tick, later entries overriding earlier ones
+// field by field (a zero field inherits).
+type Fault struct {
+	// Name labels the episode in reports ("loss-burst", "partition").
+	Name string
+	// From and Until bound the episode: active while From <= tick < Until.
+	From, Until int64
+	// DropProb drops each uplink message independently.
+	DropProb float64
+	// DelayTicks holds uplink messages for this many ticks.
+	DelayTicks int
+	// DuplicateProb delivers an uplink message twice.
+	DuplicateProb float64
+	// ReorderProb lets a delayed message slip one tick further, landing
+	// behind its successor.
+	ReorderProb float64
+	// Partition takes the uplink fully down; with the watchdog armed the
+	// feedback channel goes down too (a real partition cuts both ways).
+	Partition bool
+	// FeedbackDropProb impairs the server→source feedback channel, so
+	// watchdog resync requests themselves get lost.
+	FeedbackDropProb float64
+}
+
+func (f Fault) String() string {
+	var parts []string
+	if f.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop %.0f%%", 100*f.DropProb))
+	}
+	if f.DelayTicks > 0 {
+		parts = append(parts, fmt.Sprintf("delay %d", f.DelayTicks))
+	}
+	if f.DuplicateProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup %.0f%%", 100*f.DuplicateProb))
+	}
+	if f.ReorderProb > 0 {
+		parts = append(parts, fmt.Sprintf("reorder %.0f%%", 100*f.ReorderProb))
+	}
+	if f.Partition {
+		parts = append(parts, "partition")
+	}
+	if f.FeedbackDropProb > 0 {
+		parts = append(parts, fmt.Sprintf("fb-drop %.0f%%", 100*f.FeedbackDropProb))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "clean")
+	}
+	return fmt.Sprintf("%s [%d,%d): %s", f.Name, f.From, f.Until, strings.Join(parts, ", "))
+}
+
+// Schedule is an ordered fault plan.
+type Schedule []Fault
+
+// Validate rejects malformed schedules before a run starts.
+func (s Schedule) Validate() error {
+	for i, f := range s {
+		if f.From < 0 || f.Until <= f.From {
+			return fmt.Errorf("chaos: fault %d (%s): bad range [%d,%d)", i, f.Name, f.From, f.Until)
+		}
+		for _, p := range []float64{f.DropProb, f.DuplicateProb, f.ReorderProb, f.FeedbackDropProb} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("chaos: fault %d (%s): probability %v outside [0,1]", i, f.Name, p)
+			}
+		}
+		if f.DelayTicks < 0 {
+			return fmt.Errorf("chaos: fault %d (%s): negative delay", i, f.Name)
+		}
+	}
+	return nil
+}
+
+// ClearTick is the first tick with every fault over (0 for an empty
+// schedule).
+func (s Schedule) ClearTick() int64 {
+	var clear int64
+	for _, f := range s {
+		if f.Until > clear {
+			clear = f.Until
+		}
+	}
+	return clear
+}
+
+// linkSettings is the composed impairment state at one tick.
+type linkSettings struct {
+	drop    float64
+	delay   int
+	dup     float64
+	reorder float64
+	down    bool
+	fbDrop  float64
+}
+
+// at composes the active faults for a tick, later entries overriding
+// earlier ones field by field.
+func (s Schedule) at(tick int64) linkSettings {
+	var ls linkSettings
+	for _, f := range s {
+		if tick < f.From || tick >= f.Until {
+			continue
+		}
+		if f.DropProb > 0 {
+			ls.drop = f.DropProb
+		}
+		if f.DelayTicks > 0 {
+			ls.delay = f.DelayTicks
+		}
+		if f.DuplicateProb > 0 {
+			ls.dup = f.DuplicateProb
+		}
+		if f.ReorderProb > 0 {
+			ls.reorder = f.ReorderProb
+		}
+		if f.Partition {
+			ls.down = true
+		}
+		if f.FeedbackDropProb > 0 {
+			ls.fbDrop = f.FeedbackDropProb
+		}
+	}
+	return ls
+}
+
+// Config parameterizes one chaos run. The zero value is a usable smoke
+// test: a sine stream, heartbeats, a derived watchdog deadline, and no
+// faults.
+type Config struct {
+	// Ticks is the run length (default 5000).
+	Ticks int64
+	// Seed drives the generator and both links (default 1).
+	Seed int64
+	// Delta is the precision bound δ (default 0.5).
+	Delta float64
+	// HeartbeatEvery bounds gate silence (default 25). The watchdog
+	// deadline derives from it (2×) unless WatchdogDeadline overrides.
+	HeartbeatEvery int64
+	// WatchdogDeadline overrides the derived staleness deadline
+	// (negative disables the watchdog — the control arm for experiments).
+	WatchdogDeadline int64
+	// ResyncEvery upgrades every Nth correction to a snapshot resync
+	// (0 = only the watchdog forces resyncs).
+	ResyncEvery int64
+	// RecoveryWindow is the bounded-staleness budget: ticks after
+	// Schedule.ClearTick within which the last audit violation must
+	// fall (default 4× the effective watchdog deadline, or 200 with the
+	// watchdog off).
+	RecoveryWindow int64
+	// Schedule is the fault plan.
+	Schedule Schedule
+	// Trace optionally attaches a lifecycle journal (nil = none; runs
+	// stay quiet on trace.Default).
+	Trace *trace.Journal
+	// NewStream overrides the generator (default a seeded sine wave).
+	NewStream func(seed, ticks int64) stream.Stream
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ticks <= 0 {
+		c.Ticks = 5000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.5
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 25
+	}
+	if c.NewStream == nil {
+		c.NewStream = func(seed, ticks int64) stream.Stream {
+			return stream.NewSine(seed, 50, 10, 300, 0, 0.2, ticks)
+		}
+	}
+	return c
+}
+
+// deadline resolves the effective watchdog deadline the run will use.
+func (c Config) deadline() int64 {
+	if c.WatchdogDeadline != 0 {
+		return c.WatchdogDeadline
+	}
+	if c.HeartbeatEvery > 0 {
+		return 2 * c.HeartbeatEvery
+	}
+	return 0
+}
+
+// Report summarizes one chaos run.
+type Report struct {
+	Ticks    int64
+	Messages int64
+	Bytes    int64
+	// Gate counters: heartbeats, snapshot resyncs, and the recovery
+	// loop's specific traffic — resync requests received and the forced
+	// resyncs they (and only they) triggered.
+	Heartbeats     int64
+	Resyncs        int64
+	ResyncRequests int64
+	ForcedResyncs  int64
+	// Fault-injection effects.
+	Dropped         int64
+	FeedbackDropped int64
+	// StaleEpisodes counts transitions into the stale state — how many
+	// times the watchdog independently detected silence.
+	StaleEpisodes int64
+	// Audit is the online auditor's verdict over every tick.
+	Audit trace.AuditStats
+	// ClearTick and RecoveryWindow frame the bounded-staleness check;
+	// Recovered is its verdict: no audit violation at or after
+	// ClearTick+RecoveryWindow. LastViolation repeats
+	// Audit.LastViolationTick for the summary (-1 = none).
+	ClearTick      int64
+	RecoveryWindow int64
+	Recovered      bool
+	LastViolation  int64
+}
+
+// Summary renders the report as the plain-text block the chaos smoke
+// artifact publishes.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos run: %d ticks, %d corrections (%d bytes), %d heartbeats\n",
+		r.Ticks, r.Messages, r.Bytes, r.Heartbeats)
+	fmt.Fprintf(&b, "faults: %d uplink drops, %d feedback drops\n", r.Dropped, r.FeedbackDropped)
+	fmt.Fprintf(&b, "recovery loop: %d stale episodes, %d resync requests, %d forced resyncs, %d resyncs total\n",
+		r.StaleEpisodes, r.ResyncRequests, r.ForcedResyncs, r.Resyncs)
+	fmt.Fprintf(&b, "audit: %d ticks, %d violations, max err/δ ratio %.2f, last violation tick %d\n",
+		r.Audit.Ticks, r.Audit.Violations, r.Audit.MaxRatio, r.LastViolation)
+	verdict := "RECOVERED"
+	if !r.Recovered {
+		verdict = "NOT RECOVERED"
+	}
+	fmt.Fprintf(&b, "bounded staleness: %s (fault clear tick %d, window %d)\n",
+		verdict, r.ClearTick, r.RecoveryWindow)
+	return b.String()
+}
+
+// StreamID is the stream a chaos run attaches.
+const StreamID = "chaos-1"
+
+// Run executes one fault schedule and reports whether the recovery loop
+// restored precision within the bounded-staleness window.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Schedule.Validate(); err != nil {
+		return Report{}, err
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.NewJournal(1, 1) // disabled, private: no trace.Default noise
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Trace:     tr,
+		Audit:     true,
+		Telemetry: telemetry.New(),
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	h, err := sys.Attach(core.StreamConfig{
+		ID:               StreamID,
+		Predictor:        core.KalmanConstantVelocity(0.01, 0.04),
+		Delta:            cfg.Delta,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		ResyncEvery:      cfg.ResyncEvery,
+		WatchdogDeadline: cfg.WatchdogDeadline,
+		LinkSeed:         cfg.Seed,
+		FeedbackSeed:     cfg.Seed + 1,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	gen := cfg.NewStream(cfg.Seed, cfg.Ticks)
+	rep := Report{ClearTick: cfg.Schedule.ClearTick()}
+	deadline := cfg.deadline()
+	rep.RecoveryWindow = cfg.RecoveryWindow
+	if rep.RecoveryWindow <= 0 {
+		if deadline > 0 {
+			rep.RecoveryWindow = 4 * deadline
+		} else {
+			rep.RecoveryWindow = 200
+		}
+	}
+
+	link, fb := h.Link(), h.FeedbackLink()
+	var cur linkSettings
+	wasStale := false
+	for tick := int64(0); tick < cfg.Ticks; tick++ {
+		if ls := cfg.Schedule.at(tick); ls != cur {
+			cur = ls
+			link.SetDropProb(ls.drop)
+			link.SetDelayTicks(ls.delay)
+			link.SetDuplicateProb(ls.dup)
+			link.SetReorderProb(ls.reorder)
+			link.SetDown(ls.down)
+			if fb != nil {
+				fb.SetDropProb(ls.fbDrop)
+				fb.SetDown(ls.down)
+			}
+		}
+		if err := sys.Advance(); err != nil {
+			return rep, err
+		}
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := h.Observe(p.Value); err != nil {
+			return rep, err
+		}
+		rep.Ticks++
+		if stale := h.Stale(); stale != wasStale {
+			if stale {
+				rep.StaleEpisodes++
+			}
+			wasStale = stale
+		}
+	}
+
+	st := h.Stats()
+	rep.Messages = st.Sent
+	rep.Heartbeats = st.Heartbeats
+	rep.Resyncs = st.Resyncs
+	rep.ResyncRequests = st.ResyncRequests
+	rep.ForcedResyncs = st.ForcedResyncs
+	rep.Bytes = h.LinkStats().Bytes
+	rep.Dropped = h.LinkStats().Dropped
+	rep.FeedbackDropped = h.FeedbackStats().Dropped
+	rep.Audit = sys.Auditor().Stats(StreamID)
+	rep.LastViolation = rep.Audit.LastViolationTick
+	rep.Recovered = rep.LastViolation < rep.ClearTick+rep.RecoveryWindow
+	return rep, nil
+}

@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// The headline fault scenario: sustained 5% loss, a full partition that
+// heals, then an uplink-only blackout (feedback channel intact — the
+// case where only the watchdog loop can heal, since the source cannot
+// know its corrections are vanishing). Precision must return within the
+// bounded-staleness window after the last fault clears, and the loop
+// itself — watchdog → resync request → forced snapshot resync — must
+// demonstrably have run.
+func TestRecoveryUnderLossAndPartition(t *testing.T) {
+	rep, err := Run(Config{
+		Ticks: 4500,
+		Schedule: Schedule{
+			{Name: "loss-burst", From: 500, Until: 1500, DropProb: 0.05},
+			{Name: "partition", From: 2000, Until: 2400, Partition: true},
+			{Name: "uplink-blackout", From: 2900, Until: 3300, DropProb: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Summary())
+	if !rep.Recovered {
+		t.Fatalf("did not recover within %d ticks of fault clearing at %d (last violation %d)",
+			rep.RecoveryWindow, rep.ClearTick, rep.LastViolation)
+	}
+	// 400-tick outages against a 50-tick deadline must trip the
+	// watchdog and exercise the full loop.
+	if rep.StaleEpisodes < 2 {
+		t.Errorf("outages tripped the watchdog %d times, want >= 2", rep.StaleEpisodes)
+	}
+	if rep.ResyncRequests == 0 {
+		t.Error("no resync requests reached the source")
+	}
+	if rep.ForcedResyncs == 0 {
+		t.Error("no forced resyncs were shipped")
+	}
+	if rep.Dropped == 0 {
+		t.Error("fault schedule dropped nothing — injection broken")
+	}
+	// The run must also end healthy: audit saw every tick.
+	if rep.Audit.Ticks != rep.Ticks {
+		t.Errorf("audit saw %d of %d ticks", rep.Audit.Ticks, rep.Ticks)
+	}
+}
+
+// The control arm: the same blackout with the watchdog disabled must
+// show the recovery loop never engaging — zero requests, zero forced
+// resyncs — which pins down that the armed run's requests really come
+// from the watchdog and not some other path.
+func TestWatchdogControlArm(t *testing.T) {
+	schedule := Schedule{{Name: "blackout", From: 1000, Until: 1400, DropProb: 1}}
+	armed, err := Run(Config{Ticks: 3000, Schedule: schedule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := Run(Config{Ticks: 3000, Schedule: schedule, WatchdogDeadline: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.ResyncRequests == 0 || armed.ForcedResyncs == 0 {
+		t.Fatalf("armed run never engaged the loop: %d requests, %d forced resyncs",
+			armed.ResyncRequests, armed.ForcedResyncs)
+	}
+	if control.ResyncRequests != 0 || control.ForcedResyncs != 0 || control.StaleEpisodes != 0 {
+		t.Fatalf("disarmed run still ran the loop: %+v", control)
+	}
+	if !armed.Recovered {
+		t.Errorf("armed run did not recover: last violation %d", armed.LastViolation)
+	}
+}
+
+// A loss-free run must behave exactly as if the fault subsystem did not
+// exist: the watchdog never fires, no resync requests flow, and the
+// traffic (messages and bytes) matches a run with the watchdog disabled
+// byte for byte.
+func TestLossFreeRunUnchangedByWatchdog(t *testing.T) {
+	armed, err := Run(Config{Ticks: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := Run(Config{Ticks: 3000, WatchdogDeadline: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.StaleEpisodes != 0 || armed.ResyncRequests != 0 || armed.ForcedResyncs != 0 {
+		t.Errorf("clean run tripped the recovery loop: %+v", armed)
+	}
+	if armed.Audit.Violations != 0 {
+		t.Errorf("clean run has %d audit violations", armed.Audit.Violations)
+	}
+	if armed.Messages != control.Messages || armed.Bytes != control.Bytes {
+		t.Errorf("watchdog changed loss-free traffic: %d msgs/%d bytes armed vs %d/%d control",
+			armed.Messages, armed.Bytes, control.Messages, control.Bytes)
+	}
+	if armed.Recovered != true {
+		t.Error("clean run not recovered")
+	}
+}
+
+// Determinism: the same seed and schedule must reproduce the identical
+// report — the property that makes a chaos failure debuggable.
+func TestRunsAreDeterministic(t *testing.T) {
+	cfg := Config{
+		Ticks: 2000,
+		Schedule: Schedule{
+			{Name: "mix", From: 300, Until: 900, DropProb: 0.1, DelayTicks: 2, DuplicateProb: 0.05, ReorderProb: 0.2},
+		},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// A lossy feedback channel delays recovery (requests get re-issued every
+// deadline) but must not defeat it.
+func TestRecoversDespiteLossyFeedback(t *testing.T) {
+	rep, err := Run(Config{
+		Ticks: 4000,
+		Schedule: Schedule{
+			{Name: "blackout+fb-loss", From: 500, Until: 1500, DropProb: 1, FeedbackDropProb: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Summary())
+	if !rep.Recovered {
+		t.Fatalf("did not recover: last violation %d, clear %d, window %d",
+			rep.LastViolation, rep.ClearTick, rep.RecoveryWindow)
+	}
+	if rep.ResyncRequests == 0 {
+		t.Error("no request survived the lossy feedback channel")
+	}
+	if rep.FeedbackDropped == 0 {
+		t.Error("feedback impairment dropped nothing — injection broken")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{{Name: "inverted", From: 10, Until: 5}},
+		{{Name: "negative", From: -1, Until: 5}},
+		{{Name: "prob", From: 0, Until: 5, DropProb: 1.5}},
+		{{Name: "delay", From: 0, Until: 5, DelayTicks: -2}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %+v validated", s)
+		}
+	}
+	if _, err := Run(Config{Ticks: 10, Schedule: bad[0]}); err == nil {
+		t.Error("Run accepted an invalid schedule")
+	}
+}
+
+func TestSummaryMentionsVerdict(t *testing.T) {
+	rep := Report{Recovered: true, LastViolation: -1}
+	if !strings.Contains(rep.Summary(), "RECOVERED") {
+		t.Errorf("summary missing verdict: %q", rep.Summary())
+	}
+	rep.Recovered = false
+	if !strings.Contains(rep.Summary(), "NOT RECOVERED") {
+		t.Errorf("summary missing negative verdict: %q", rep.Summary())
+	}
+}

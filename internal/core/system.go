@@ -158,6 +158,21 @@ type StreamConfig struct {
 	LinkDelayTicks int
 	LinkDropProb   float64
 	LinkSeed       int64
+	// WatchdogDeadline arms the server-side staleness watchdog: a stream
+	// silent for more than this many ticks is marked stale and asked to
+	// resynchronize over the feedback channel. 0 derives the deadline
+	// from the heartbeat interval (2 × HeartbeatEvery) when heartbeats
+	// are enabled, and leaves the watchdog off otherwise; a negative
+	// value forces it off.
+	WatchdogDeadline int64
+	// FeedbackDelayTicks, FeedbackDropProb, and FeedbackSeed impair the
+	// server→source feedback link the watchdog's resync requests travel
+	// on. The watchdog re-requests every deadline's worth of continued
+	// silence, so a lossy feedback channel delays recovery rather than
+	// defeating it.
+	FeedbackDelayTicks int
+	FeedbackDropProb   float64
+	FeedbackSeed       int64
 }
 
 // SystemConfig configures a System.
@@ -292,6 +307,9 @@ type StreamHandle struct {
 	sys  *System
 	src  *source.Source
 	link *netsim.Link
+	// fb is the server→source feedback link (resync requests); nil when
+	// the watchdog is off.
+	fb   *netsim.Link
 	norm Norm // gate norm, reused by the precision auditor
 }
 
@@ -330,6 +348,28 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		return nil, err
 	}
 	h := &StreamHandle{sys: s, src: src, link: link, norm: cfg.DeviationNorm}
+	// Arm the staleness watchdog: explicit deadline wins; otherwise it is
+	// derived from the gate's heartbeat interval (twice HeartbeatEvery,
+	// so one lost heartbeat never trips it). Without heartbeats a silent
+	// stream is indistinguishable from a perfectly predicted one, so
+	// there is nothing sound to derive and the watchdog stays off.
+	deadline := cfg.WatchdogDeadline
+	if deadline == 0 && cfg.HeartbeatEvery > 0 {
+		deadline = 2 * cfg.HeartbeatEvery
+	}
+	if deadline > 0 {
+		h.fb = netsim.NewLink(src.HandleFeedback, netsim.LinkConfig{
+			DelayTicks: cfg.FeedbackDelayTicks,
+			DropProb:   cfg.FeedbackDropProb,
+			Seed:       cfg.FeedbackSeed,
+			Name:       "feedback",
+			Trace:      s.tr,
+		})
+		if err := s.srv.SetWatchdog(cfg.ID, deadline, h.fb.Send); err != nil {
+			_ = s.srv.Unregister(cfg.ID)
+			return nil, err
+		}
+	}
 	if s.coord != nil {
 		if err := s.coord.Manage(src, resource.ManagedOptions{
 			Weight:   cfg.Weight,
@@ -374,6 +414,9 @@ func (s *System) Advance() error {
 		s.srv.Tick()
 		for _, h := range s.order {
 			h.link.Tick()
+			if h.fb != nil {
+				h.fb.Tick()
+			}
 		}
 	} else {
 		s.pool.run(s.shardTasks)
@@ -402,6 +445,9 @@ func (s *System) rebuildLinkTasks() {
 		s.linkTasks = append(s.linkTasks, func() {
 			for _, h := range part {
 				h.link.Tick()
+				if h.fb != nil {
+					h.fb.Tick()
+				}
 			}
 		})
 	}
@@ -456,6 +502,31 @@ func (h *StreamHandle) Stats() SourceStats { return h.src.Stats() }
 
 // LinkStats returns the uplink traffic counters for the stream.
 func (h *StreamHandle) LinkStats() LinkStats { return h.link.Stats() }
+
+// FeedbackStats returns the feedback-link traffic counters (zero when
+// the watchdog is off — no feedback link exists).
+func (h *StreamHandle) FeedbackStats() LinkStats {
+	if h.fb == nil {
+		return LinkStats{}
+	}
+	return h.fb.Stats()
+}
+
+// Link returns the stream's uplink, exposed so fault injectors (the
+// chaos harness) can impair it mid-run. Call its setters only between
+// the system's Advance/Observe steps.
+func (h *StreamHandle) Link() *netsim.Link { return h.link }
+
+// FeedbackLink returns the server→source feedback link, or nil when the
+// watchdog is off. Same access contract as Link.
+func (h *StreamHandle) FeedbackLink() *netsim.Link { return h.fb }
+
+// Stale reports whether the server's staleness watchdog currently has
+// this stream marked silent past its deadline.
+func (h *StreamHandle) Stale() bool {
+	info, err := h.sys.srv.Info(h.src.StreamID())
+	return err == nil && info.Stale
+}
 
 // ID returns the stream identifier.
 func (h *StreamHandle) ID() string { return h.src.StreamID() }

@@ -45,9 +45,13 @@ const (
 	// snapshot, hard-resynchronizing the server replica after possible
 	// message loss.
 	KindResync
+	// KindResyncRequest asks the source to resynchronize (server →
+	// source): the staleness watchdog's feedback message. The source
+	// answers by upgrading its next correction to a KindResync snapshot.
+	KindResyncRequest
 
 	// numKinds bounds the per-kind counter array (kinds are 1-based).
-	numKinds = int(KindResync) + 1
+	numKinds = int(KindResyncRequest) + 1
 )
 
 func (k MessageKind) String() string {
@@ -60,6 +64,8 @@ func (k MessageKind) String() string {
 		return "delta-update"
 	case KindResync:
 		return "resync"
+	case KindResyncRequest:
+		return "resync-request"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(k))
 	}
@@ -145,7 +151,7 @@ func DecodeInto(m *Message, buf []byte) error {
 	traced := kind&tracedFlag != 0
 	m.Kind = MessageKind(kind &^ tracedFlag)
 	switch m.Kind {
-	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync:
+	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync, KindResyncRequest:
 	default:
 		return fmt.Errorf("netsim: unknown message kind %d", buf[0])
 	}
@@ -239,13 +245,22 @@ type Stats struct {
 	ByKind map[MessageKind]int64
 }
 
-// LinkConfig sets optional impairments on a link.
+// LinkConfig sets optional impairments on a link. Every impairment can
+// also be changed after construction via the Set* methods — the chaos
+// harness flips them mid-run to model fault windows.
 type LinkConfig struct {
 	// DelayTicks delays every delivery by this many calls to Tick.
 	DelayTicks int
 	// DropProb drops each message independently with this probability.
 	DropProb float64
-	// Seed seeds the drop RNG; ignored when DropProb is zero.
+	// DuplicateProb delivers each (non-dropped) message twice with this
+	// probability, modelling retransmission storms.
+	DuplicateProb float64
+	// ReorderProb holds each message back one extra tick with this
+	// probability, so later sends can overtake it.
+	ReorderProb float64
+	// Seed seeds the impairment RNG; used whenever any probabilistic
+	// impairment is (or later becomes) nonzero.
 	Seed int64
 	// Name labels the link's telemetry series (default "link").
 	Name string
@@ -271,6 +286,15 @@ type Link struct {
 	queue  []queued
 	nowLag int
 
+	// Mutable impairments, initialized from cfg and adjustable from the
+	// link's driving goroutine (same contract as Send/Tick) via the Set*
+	// methods.
+	delay   int
+	drop    float64
+	dup     float64
+	reorder float64
+	down    bool
+
 	msgs    atomic.Int64
 	bytes   atomic.Int64
 	dropped atomic.Int64
@@ -291,9 +315,16 @@ type queued struct {
 
 // NewLink returns a link delivering to recv with the given impairments.
 func NewLink(recv func(*Message), cfg LinkConfig) *Link {
-	l := &Link{recv: recv, cfg: cfg}
-	if cfg.DropProb > 0 {
-		l.rng = rand.New(rand.NewSource(cfg.Seed))
+	l := &Link{
+		recv:    recv,
+		cfg:     cfg,
+		delay:   cfg.DelayTicks,
+		drop:    cfg.DropProb,
+		dup:     cfg.DuplicateProb,
+		reorder: cfg.ReorderProb,
+	}
+	if cfg.DropProb > 0 || cfg.DuplicateProb > 0 || cfg.ReorderProb > 0 {
+		l.ensureRNG()
 	}
 	reg := cfg.Telemetry
 	if reg == nil {
@@ -327,11 +358,55 @@ func (l *Link) traceTransit(m *Message, outcome trace.Outcome, delay float64) {
 	})
 }
 
+// ensureRNG lazily creates the impairment RNG (a setter may introduce
+// the first probabilistic impairment after construction).
+func (l *Link) ensureRNG() {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(l.cfg.Seed))
+	}
+}
+
+// SetDelayTicks changes the delivery delay for subsequently sent
+// messages; in-flight messages keep their original maturity.
+func (l *Link) SetDelayTicks(d int) { l.delay = d }
+
+// SetDropProb changes the per-message loss probability.
+func (l *Link) SetDropProb(p float64) {
+	l.drop = p
+	if p > 0 {
+		l.ensureRNG()
+	}
+}
+
+// SetDuplicateProb changes the per-message duplication probability.
+func (l *Link) SetDuplicateProb(p float64) {
+	l.dup = p
+	if p > 0 {
+		l.ensureRNG()
+	}
+}
+
+// SetReorderProb changes the per-message reorder probability (a reordered
+// message is held back one extra tick so later sends overtake it).
+func (l *Link) SetReorderProb(p float64) {
+	l.reorder = p
+	if p > 0 {
+		l.ensureRNG()
+	}
+}
+
+// SetDown partitions (true) or heals (false) the link. While partitioned
+// every send is dropped; messages already in flight still mature.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is currently partitioned.
+func (l *Link) Down() bool { return l.down }
+
 // Send transmits m across the link. With no impairments the delivery is
 // synchronous.
 func (l *Link) Send(m *Message) {
 	traced := m.Trace != 0 && l.tr.Enabled()
-	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
+	if l.down || (l.drop > 0 && l.rng.Float64() < l.drop) {
 		l.dropped.Add(1)
 		l.telDropped.Inc()
 		if traced {
@@ -339,6 +414,14 @@ func (l *Link) Send(m *Message) {
 		}
 		return
 	}
+	l.transmit(m, traced)
+	if l.dup > 0 && l.rng.Float64() < l.dup {
+		l.transmit(m, traced)
+	}
+}
+
+// transmit counts one copy of m and delivers or enqueues it.
+func (l *Link) transmit(m *Message, traced bool) {
 	size := int64(m.EncodedSize())
 	l.msgs.Add(1)
 	l.bytes.Add(size)
@@ -347,7 +430,13 @@ func (l *Link) Send(m *Message) {
 	}
 	l.telMsgs.Inc()
 	l.telBytes.Add(size)
-	if l.cfg.DelayTicks <= 0 {
+	delay := l.delay
+	if l.reorder > 0 && l.rng.Float64() < l.reorder {
+		// Held back one extra tick: synchronous sends become delayed and
+		// delayed sends mature late, so later messages overtake this one.
+		delay++
+	}
+	if delay <= 0 {
 		if traced {
 			l.traceTransit(m, trace.OutcomeDelivered, 0)
 		}
@@ -355,9 +444,9 @@ func (l *Link) Send(m *Message) {
 		return
 	}
 	if traced {
-		l.traceTransit(m, trace.OutcomeEnqueued, float64(l.cfg.DelayTicks))
+		l.traceTransit(m, trace.OutcomeEnqueued, float64(delay))
 	}
-	l.queue = append(l.queue, queued{deliverAt: l.nowLag + l.cfg.DelayTicks, msg: m})
+	l.queue = append(l.queue, queued{deliverAt: l.nowLag + delay, msg: m})
 	l.telPending.Set(float64(len(l.queue)))
 }
 
@@ -372,7 +461,7 @@ func (l *Link) Tick() {
 	for _, q := range l.queue {
 		if q.deliverAt <= l.nowLag {
 			if q.msg.Trace != 0 && l.tr.Enabled() {
-				l.traceTransit(q.msg, trace.OutcomeDelivered, float64(l.cfg.DelayTicks))
+				l.traceTransit(q.msg, trace.OutcomeDelivered, float64(l.delay))
 			}
 			l.recv(q.msg)
 		} else {

@@ -59,6 +59,9 @@ type StreamInfo struct {
 	Corrections int64
 	// Staleness is Tick − LastCorrectionTick.
 	Staleness int64
+	// Stale reports whether the staleness watchdog currently has the
+	// stream marked silent past its deadline.
+	Stale bool
 	// Prediction is the replica's current estimate.
 	Prediction []float64
 }
@@ -85,9 +88,21 @@ type streamState struct {
 	// linking subsequent query events back to the state they serve from.
 	lastTrace uint64
 
+	// Staleness-watchdog state (see watchdog.go). wdDeadline <= 0 means
+	// disarmed; wdLastReq is the staleness at which the last resync
+	// request was issued, so requests repeat every wdDeadline ticks of
+	// continued silence.
+	wdDeadline int64
+	wdLastReq  int64
+	stale      bool
+	feedback   func(*netsim.Message)
+
 	// telemetry handles; nil unless the hosting server has a registry.
-	telQueries   *telemetry.Counter
-	telStaleness *telemetry.Histogram
+	telQueries    *telemetry.Counter
+	telStaleness  *telemetry.Histogram
+	telStale      *telemetry.Gauge
+	telStaleTotal *telemetry.Counter
+	telResyncReqs *telemetry.Counter
 }
 
 // shard is one lock stripe of the registry.
@@ -245,6 +260,7 @@ func (s *Server) TickShard(i int) {
 		st.archive()
 		st.replica.Step()
 		st.tick++
+		s.watchdogCheck(st)
 	}
 }
 
@@ -261,6 +277,7 @@ func (s *Server) TickStream(id string) error {
 	st.archive()
 	st.replica.Step()
 	st.tick++
+	s.watchdogCheck(st)
 	return nil
 }
 
@@ -286,6 +303,7 @@ func (s *Server) Apply(m *netsim.Message) error {
 		copy(st.lastValue, m.Value)
 		st.lastValueTick = st.tick
 		s.traceApply(st, m)
+		s.watchdogRecover(st)
 		return nil
 	case netsim.KindResync:
 		dim := st.replica.Dim()
@@ -307,9 +325,11 @@ func (s *Server) Apply(m *netsim.Message) error {
 		copy(st.lastValue, m.Value[:dim])
 		st.lastValueTick = st.tick
 		s.traceApply(st, m)
+		s.watchdogRecover(st)
 		return nil
 	case netsim.KindHeartbeat:
 		st.lastCorr = m.Tick
+		s.watchdogRecover(st)
 		return nil
 	default:
 		return fmt.Errorf("server: unexpected message kind %s", m.Kind)
@@ -516,6 +536,7 @@ func (s *Server) Info(id string) (StreamInfo, error) {
 		LastCorrectionTick: st.lastCorr,
 		Corrections:        st.corrections,
 		Staleness:          st.tick - 1 - st.lastCorr,
+		Stale:              st.stale,
 		Prediction:         st.replica.Predict(),
 	}, nil
 }

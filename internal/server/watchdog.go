@@ -1,0 +1,149 @@
+// The staleness watchdog: the server-side half of the fault-recovery
+// loop. The gate's heartbeat policy promises that a healthy stream is
+// never silent for more than HeartbeatEvery ticks; a stream silent past
+// its deadline therefore implies message loss or a partition, and the
+// server's replica may be diverging without anything noticing. The
+// watchdog detects that condition per stream, surfaces it (telemetry
+// gauge + trace event), and issues KindResyncRequest feedback messages
+// upstream until a correction, resync, or heartbeat arrives and clears
+// it. See DESIGN.md, "Fault tolerance & recovery".
+
+package server
+
+import (
+	"fmt"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/trace"
+)
+
+// SetWatchdog arms the staleness watchdog for a stream: once the stream
+// has been silent (no correction, resync, or heartbeat applied) for more
+// than deadlineTicks ticks it is marked stale, and a KindResyncRequest
+// message is handed to feedback — once immediately, then again every
+// deadlineTicks while the silence lasts, so a lost request does not
+// strand the stream. feedback may be nil (detect-only mode: the stream
+// is still marked and counted). deadlineTicks <= 0 disarms.
+//
+// feedback is invoked with the stream's shard lock held; it must not
+// call back into the server. Handing the message to a netsim.Link whose
+// receiver is the source's HandleFeedback satisfies that.
+func (s *Server) SetWatchdog(id string, deadlineTicks int64, feedback func(*netsim.Message)) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[id]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	st.wdDeadline = deadlineTicks
+	st.feedback = feedback
+	if s.tel != nil && deadlineTicks > 0 {
+		st.telStale = s.tel.Gauge("stream_stale", "stream", id)
+		st.telStaleTotal = s.tel.Counter("watchdog_stale_total", "stream", id)
+		st.telResyncReqs = s.tel.Counter("watchdog_resync_requests_total", "stream", id)
+	}
+	return nil
+}
+
+// WatchdogDeadline returns the stream's armed deadline (0 = disarmed).
+func (s *Server) WatchdogDeadline(id string) (int64, error) {
+	sh, st, err := s.get(id)
+	if err != nil {
+		return 0, err
+	}
+	defer sh.mu.RUnlock()
+	return st.wdDeadline, nil
+}
+
+// StaleStreams returns the IDs of streams currently marked stale, in
+// unspecified order.
+func (s *Server) StaleStreams() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, st := range sh.streams {
+			if st.stale {
+				out = append(out, id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// watchdogCheck runs once per stream per tick, under the shard write
+// lock (called from TickShard after the replica stepped). It is a
+// single comparison for healthy or unarmed streams.
+func (s *Server) watchdogCheck(st *streamState) {
+	if st.wdDeadline <= 0 {
+		return
+	}
+	staleness := st.tick - 1 - st.lastCorr
+	if staleness <= st.wdDeadline {
+		return
+	}
+	if !st.stale {
+		st.stale = true
+		if st.telStale != nil {
+			st.telStale.Set(1)
+			st.telStaleTotal.Inc()
+		}
+		if s.tr.Enabled() {
+			s.tr.Record(trace.Event{
+				StreamID: st.id,
+				Tick:     st.tick,
+				Stage:    trace.StageWatchdog,
+				Outcome:  trace.OutcomeStale,
+				Value:    float64(staleness),
+				Aux:      float64(st.wdDeadline),
+			})
+		}
+	}
+	// Issue a resync request now, and again every deadline's worth of
+	// continued silence — the feedback channel may itself be lossy.
+	if st.feedback != nil && staleness-st.wdLastReq >= st.wdDeadline {
+		st.wdLastReq = staleness
+		if st.telResyncReqs != nil {
+			st.telResyncReqs.Inc()
+		}
+		if s.tr.Enabled() {
+			s.tr.Record(trace.Event{
+				StreamID: st.id,
+				Tick:     st.tick,
+				Stage:    trace.StageWatchdog,
+				Outcome:  trace.OutcomeResyncRequested,
+				Value:    float64(staleness),
+				Aux:      float64(st.wdDeadline),
+			})
+		}
+		st.feedback(&netsim.Message{
+			Kind:     netsim.KindResyncRequest,
+			StreamID: st.id,
+			Tick:     st.tick,
+		})
+	}
+}
+
+// watchdogRecover clears the stale mark when traffic arrives, under the
+// shard write lock (called from Apply).
+func (s *Server) watchdogRecover(st *streamState) {
+	if !st.stale {
+		return
+	}
+	st.stale = false
+	st.wdLastReq = 0
+	if st.telStale != nil {
+		st.telStale.Set(0)
+	}
+	if s.tr.Enabled() {
+		s.tr.Record(trace.Event{
+			StreamID: st.id,
+			Tick:     st.tick,
+			Stage:    trace.StageWatchdog,
+			Outcome:  trace.OutcomeRecovered,
+			Value:    float64(st.tick - 1 - st.lastCorr),
+			Aux:      float64(st.wdDeadline),
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"testing"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+)
+
+func correction(id string, tick int64, v float64) *netsim.Message {
+	return &netsim.Message{Kind: netsim.KindCorrection, StreamID: id, Tick: tick, Value: []float64{v}}
+}
+
+func TestWatchdogMarksStaleAndRequestsResync(t *testing.T) {
+	s := New()
+	if err := s.Register("a", staticSpec(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var reqs []*netsim.Message
+	if err := s.SetWatchdog("a", 5, func(m *netsim.Message) { reqs = append(reqs, m) }); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic at tick 0 keeps lastCorr = 0; then silence.
+	s.Tick()
+	if err := s.Apply(correction("a", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Tick()
+	}
+	// Staleness = tick-1-lastCorr = 5 = deadline: not yet stale.
+	if info, _ := s.Info("a"); info.Stale {
+		t.Fatal("stale at exactly the deadline")
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("resync requested before the deadline passed: %d", len(reqs))
+	}
+	s.Tick()
+	info, err := s.Info("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Stale {
+		t.Fatal("not stale one past the deadline")
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("want 1 resync request, got %d", len(reqs))
+	}
+	if reqs[0].Kind != netsim.KindResyncRequest || reqs[0].StreamID != "a" {
+		t.Fatalf("bad request %+v", reqs[0])
+	}
+	if got := s.StaleStreams(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("StaleStreams = %v", got)
+	}
+}
+
+func TestWatchdogReRequestsEveryDeadline(t *testing.T) {
+	s := New()
+	if err := s.Register("a", staticSpec(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var reqs int
+	if err := s.SetWatchdog("a", 4, func(*netsim.Message) { reqs++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	if err := s.Apply(correction("a", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// 20 silent ticks with deadline 4: requests at staleness 5, 9, 13,
+	// 17 — one initial plus one per further deadline of silence.
+	for i := 0; i < 20; i++ {
+		s.Tick()
+	}
+	if reqs != 4 {
+		t.Fatalf("want 4 requests over 20 silent ticks, got %d", reqs)
+	}
+}
+
+func TestWatchdogRecoversOnTraffic(t *testing.T) {
+	kinds := []netsim.MessageKind{netsim.KindCorrection, netsim.KindHeartbeat}
+	for _, kind := range kinds {
+		s := New()
+		if err := s.Register("a", staticSpec(), 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetWatchdog("a", 3, nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Tick()
+		if err := s.Apply(correction("a", 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			s.Tick()
+		}
+		if info, _ := s.Info("a"); !info.Stale {
+			t.Fatalf("%v: not stale after silence", kind)
+		}
+		m := &netsim.Message{Kind: kind, StreamID: "a", Tick: 8, Value: []float64{2}}
+		if kind == netsim.KindHeartbeat {
+			m.Value = nil
+		}
+		if err := s.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+		if info, _ := s.Info("a"); info.Stale {
+			t.Fatalf("%v did not clear the stale mark", kind)
+		}
+		if got := s.StaleStreams(); len(got) != 0 {
+			t.Fatalf("StaleStreams after recovery = %v", got)
+		}
+	}
+}
+
+func TestWatchdogDisarmedAndUnknown(t *testing.T) {
+	s := New()
+	if err := s.SetWatchdog("ghost", 5, nil); err == nil {
+		t.Error("armed a watchdog on an unknown stream")
+	}
+	if err := s.Register("a", staticSpec(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline 0 disarms: silence forever never marks stale.
+	if err := s.SetWatchdog("a", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Tick()
+	}
+	if info, _ := s.Info("a"); info.Stale {
+		t.Fatal("disarmed watchdog marked stream stale")
+	}
+	if d, _ := s.WatchdogDeadline("a"); d != 0 {
+		t.Fatalf("deadline = %d, want 0", d)
+	}
+}
+
+func TestWatchdogOnShardedServer(t *testing.T) {
+	s := NewSharded(8)
+	spec := predictor.Spec{Kind: predictor.KindStatic, Dim: 1}
+	var reqs int
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := s.Register(id, spec, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetWatchdog(id, 5, func(*netsim.Message) { reqs++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tick()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := s.Apply(correction(id, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		s.Tick()
+	}
+	if got := len(s.StaleStreams()); got != 4 {
+		t.Fatalf("stale streams = %d, want 4", got)
+	}
+	if reqs != 4 {
+		t.Fatalf("requests = %d, want 4", reqs)
+	}
+}

@@ -1,0 +1,130 @@
+package source
+
+import (
+	"testing"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+)
+
+func kalmanSpec() predictor.Spec {
+	return predictor.Spec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 1, R: 0.01}}
+}
+
+// A forced resync must bypass the gate: even a perfectly predicted tick
+// ships a full snapshot when a resync was requested.
+func TestRequestResyncBypassesGate(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: kalmanSpec(), Delta: 10}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// With δ=10 and a steady value, subsequent ticks suppress.
+	if sent, _ := s.Observe(1, []float64{5}); sent {
+		t.Fatal("tick 1 not suppressed — test premise broken")
+	}
+	s.RequestResync()
+	sent, err := s.Observe(2, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sent {
+		t.Fatal("forced resync suppressed")
+	}
+	last := msgs[len(msgs)-1]
+	if last.Kind != netsim.KindResync {
+		t.Fatalf("forced message kind = %v, want resync", last.Kind)
+	}
+	// Resync payload = measurement followed by the predictor snapshot.
+	if len(last.Value) <= 1 {
+		t.Fatalf("resync payload %v carries no snapshot", last.Value)
+	}
+	st := s.Stats()
+	if st.ResyncRequests != 1 || st.ForcedResyncs != 1 || st.Resyncs != 1 {
+		t.Fatalf("stats = %+v, want 1 request / 1 forced / 1 resync", st)
+	}
+	// The flag is one-shot: the next quiet tick suppresses again.
+	if sent, _ := s.Observe(3, []float64{5}); sent {
+		t.Fatal("resync flag not consumed")
+	}
+}
+
+// Multiple requests before the next observation coalesce into one
+// forced resync — the watchdog re-requests on a timer and must not
+// queue up a burst of snapshots.
+func TestRequestResyncCoalesces(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: kalmanSpec(), Delta: 10}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.RequestResync()
+	}
+	if _, err := s.Observe(1, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if sent, _ := s.Observe(2, []float64{5}); sent {
+		t.Fatal("coalesced requests forced a second resync")
+	}
+	st := s.Stats()
+	if st.ResyncRequests != 4 || st.ForcedResyncs != 1 {
+		t.Fatalf("stats = %+v, want 4 requests coalesced into 1 forced resync", st)
+	}
+}
+
+// HandleFeedback is the feedback-channel receiver: resync requests force
+// a resync, δ updates retune the gate, anything else is ignored.
+func TestHandleFeedback(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: kalmanSpec(), Delta: 10}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.HandleFeedback(&netsim.Message{Kind: netsim.KindResyncRequest, StreamID: "s"})
+	if s.Stats().ResyncRequests != 1 {
+		t.Fatal("resync request not registered")
+	}
+	s.HandleFeedback(&netsim.Message{Kind: netsim.KindDeltaUpdate, StreamID: "s", Value: []float64{2.5}})
+	if got := s.Delta(); got != 2.5 {
+		t.Fatalf("delta after feedback update = %v, want 2.5", got)
+	}
+	// Malformed δ updates and foreign kinds are ignored, not fatal.
+	s.HandleFeedback(&netsim.Message{Kind: netsim.KindDeltaUpdate, StreamID: "s", Value: []float64{-1}})
+	s.HandleFeedback(&netsim.Message{Kind: netsim.KindDeltaUpdate, StreamID: "s"})
+	s.HandleFeedback(&netsim.Message{Kind: netsim.KindCorrection, StreamID: "s", Value: []float64{1}})
+	if got := s.Delta(); got != 2.5 {
+		t.Fatalf("delta changed by malformed feedback: %v", got)
+	}
+}
+
+// Every built-in predictor implements Snapshotter, so a forced resync
+// ships a snapshot for the simplest predictor too.
+func TestForcedResyncOnStaticPredictor(t *testing.T) {
+	var msgs []*netsim.Message
+	s, err := New(Config{StreamID: "s", Spec: staticSpec(), Delta: 10}, collect(&msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	s.RequestResync()
+	sent, err := s.Observe(1, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sent {
+		t.Fatal("forced send suppressed")
+	}
+	if last := msgs[len(msgs)-1]; last.Kind != netsim.KindResync {
+		t.Fatalf("kind = %v, want resync", last.Kind)
+	}
+}

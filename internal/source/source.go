@@ -108,6 +108,12 @@ type Stats struct {
 	Suppressed int64
 	Heartbeats int64 // corrections forced by the heartbeat policy (subset of Sent)
 	Resyncs    int64 // corrections upgraded to snapshots (subset of Sent)
+	// ResyncRequests counts server-issued resynchronization requests
+	// received on the feedback channel (or via RequestResync).
+	ResyncRequests int64
+	// ForcedResyncs counts resyncs shipped in answer to a request,
+	// bypassing the gate (subset of Resyncs).
+	ForcedResyncs int64
 	// MaxSuppressedDeviation is the largest deviation ever allowed
 	// through suppression — by construction ≤ δ at the time of the
 	// decision.
@@ -134,6 +140,12 @@ type Source struct {
 
 	run int64 // consecutive suppressed ticks (Observe-goroutine only)
 
+	// resyncRequested is set by the server's staleness watchdog (via the
+	// feedback channel) or a reconnecting transport; the next Observe
+	// answers with a full-snapshot resync, bypassing the gate. Atomic:
+	// feedback may arrive from a different goroutine than Observe's.
+	resyncRequested atomic.Bool
+
 	// Gate counters. Atomic so Stats() taken from a monitoring
 	// goroutine is a coherent snapshot rather than a racy copy.
 	ticks          atomic.Int64
@@ -141,16 +153,19 @@ type Source struct {
 	suppressed     atomic.Int64
 	heartbeats     atomic.Int64
 	resyncs        atomic.Int64
+	resyncRequests atomic.Int64
+	forcedResyncs  atomic.Int64
 	maxSuppDevBits atomic.Uint64
 
 	// Telemetry handles, resolved once at construction so the per-tick
 	// cost is a few atomic adds.
-	telSent       *telemetry.Counter
-	telSuppressed *telemetry.Counter
-	telHeartbeats *telemetry.Counter
-	telResyncs    *telemetry.Counter
-	telDeviation  *telemetry.Histogram
-	telDelta      *telemetry.Gauge
+	telSent           *telemetry.Counter
+	telSuppressed     *telemetry.Counter
+	telHeartbeats     *telemetry.Counter
+	telResyncs        *telemetry.Counter
+	telResyncRequests *telemetry.Counter
+	telDeviation      *telemetry.Histogram
+	telDelta          *telemetry.Gauge
 }
 
 // New constructs a source whose corrections are transmitted via send.
@@ -181,12 +196,13 @@ func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
 		replica:       replica,
 		send:          send,
 		tr:            tr,
-		telSent:       reg.Counter("corrections_sent_total", "stream", cfg.StreamID),
-		telSuppressed: reg.Counter("corrections_suppressed_total", "stream", cfg.StreamID),
-		telHeartbeats: reg.Counter("heartbeats_total", "stream", cfg.StreamID),
-		telResyncs:    reg.Counter("resyncs_total", "stream", cfg.StreamID),
-		telDeviation:  reg.Histogram("gate_deviation_ratio", telemetry.RatioBuckets, "stream", cfg.StreamID),
-		telDelta:      reg.Gauge("stream_delta", "stream", cfg.StreamID),
+		telSent:           reg.Counter("corrections_sent_total", "stream", cfg.StreamID),
+		telSuppressed:     reg.Counter("corrections_suppressed_total", "stream", cfg.StreamID),
+		telHeartbeats:     reg.Counter("heartbeats_total", "stream", cfg.StreamID),
+		telResyncs:        reg.Counter("resyncs_total", "stream", cfg.StreamID),
+		telResyncRequests: reg.Counter("resync_requests_total", "stream", cfg.StreamID),
+		telDeviation:      reg.Histogram("gate_deviation_ratio", telemetry.RatioBuckets, "stream", cfg.StreamID),
+		telDelta:          reg.Gauge("stream_delta", "stream", cfg.StreamID),
 	}
 	s.telDelta.Set(cfg.Delta)
 	return s, nil
@@ -209,8 +225,12 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 	}
 	traced := s.tr.Enabled()
 
+	// A pending resync request bypasses the gate: the server believes its
+	// replica may have diverged, so this tick must ship a full snapshot
+	// no matter how small the deviation is.
+	forced := s.resyncRequested.Swap(false)
 	heartbeatDue := s.cfg.HeartbeatEvery > 0 && s.run >= s.cfg.HeartbeatEvery
-	if dev <= s.cfg.Delta && !heartbeatDue {
+	if dev <= s.cfg.Delta && !heartbeatDue && !forced {
 		s.run++
 		s.suppressed.Add(1)
 		s.telSuppressed.Inc()
@@ -242,16 +262,23 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 		Value:    mat.VecClone(z),
 	}
 	outcome := trace.OutcomeSent
-	if s.cfg.ResyncEvery > 0 && (s.sent.Load()+1)%s.cfg.ResyncEvery == 0 {
+	resyncDue := s.cfg.ResyncEvery > 0 && (s.sent.Load()+1)%s.cfg.ResyncEvery == 0
+	if forced || resyncDue {
 		// Upgrade to a resync: the measurement followed by the full
 		// post-correction snapshot, so a server that missed earlier
-		// corrections lands exactly on this replica's state.
-		snap := s.replica.(predictor.Snapshotter).Snapshot()
-		msg.Kind = netsim.KindResync
-		msg.Value = append(mat.VecClone(z), snap...)
-		s.resyncs.Add(1)
-		s.telResyncs.Inc()
-		outcome = trace.OutcomeResync
+		// corrections lands exactly on this replica's state. A predictor
+		// without snapshot support degrades to a plain correction — the
+		// best repair it can offer.
+		if snap, ok := s.replica.(predictor.Snapshotter); ok {
+			msg.Kind = netsim.KindResync
+			msg.Value = append(mat.VecClone(z), snap.Snapshot()...)
+			s.resyncs.Add(1)
+			s.telResyncs.Inc()
+			outcome = trace.OutcomeResync
+			if forced {
+				s.forcedResyncs.Add(1)
+			}
+		}
 	}
 	if traced {
 		msg.Trace = s.tr.NextTraceID()
@@ -285,6 +312,39 @@ func (s *Source) traceGate(outcome trace.Outcome, traceID uint64, tick int64, de
 	})
 }
 
+// RequestResync asks the gate to ship a full-snapshot resync on the next
+// Observe, bypassing the precision gate. The server's staleness watchdog
+// calls it (via the feedback channel) when a stream has been silent past
+// its deadline, and a reconnecting transport calls it after re-dialing,
+// since corrections in flight when the connection died may be lost. Safe
+// from any goroutine; requests coalesce (N requests before the next
+// Observe produce one resync).
+func (s *Source) RequestResync() {
+	s.resyncRequested.Store(true)
+	s.resyncRequests.Add(1)
+	s.telResyncRequests.Inc()
+}
+
+// HandleFeedback processes a server→source protocol message: a resync
+// request from the staleness watchdog, or a delta update from the budget
+// allocator. It is shaped to plug directly into a netsim.Link as the
+// feedback channel's receiver. Unknown kinds are ignored — feedback is
+// advisory, and a lagging peer must not wedge the source.
+func (s *Source) HandleFeedback(m *netsim.Message) {
+	switch m.Kind {
+	case netsim.KindResyncRequest:
+		s.RequestResync()
+	case netsim.KindDeltaUpdate:
+		if len(m.Value) == 1 && m.Value[0] >= 0 {
+			_ = s.SetDelta(m.Value[0])
+		}
+	}
+}
+
+// HeartbeatEvery returns the gate's heartbeat interval (0 = disabled) —
+// the quantity staleness deadlines are derived from.
+func (s *Source) HeartbeatEvery() int64 { return s.cfg.HeartbeatEvery }
+
 // SetDelta changes the precision bound, e.g. on a delta-update from the
 // server's budget allocator.
 func (s *Source) SetDelta(delta float64) error {
@@ -305,14 +365,19 @@ func (s *Source) StreamID() string { return s.cfg.StreamID }
 // Stats returns a snapshot of the gate counters. Safe to call from any
 // goroutine while Observe runs.
 func (s *Source) Stats() Stats {
-	return Stats{
-		Ticks:                  s.ticks.Load(),
+	// Observe bumps ticks before the outcome counter, so loading Ticks
+	// last keeps Sent+Suppressed <= Ticks under any interleaving.
+	st := Stats{
 		Sent:                   s.sent.Load(),
 		Suppressed:             s.suppressed.Load(),
 		Heartbeats:             s.heartbeats.Load(),
 		Resyncs:                s.resyncs.Load(),
+		ResyncRequests:         s.resyncRequests.Load(),
+		ForcedResyncs:          s.forcedResyncs.Load(),
 		MaxSuppressedDeviation: math.Float64frombits(s.maxSuppDevBits.Load()),
 	}
+	st.Ticks = s.ticks.Load()
+	return st
 }
 
 // Prediction returns what the server is currently predicting for this

@@ -36,6 +36,11 @@ type AuditStats struct {
 	// MaxRatio is the largest realized error/δ ratio seen on a
 	// suppressed tick (≤ 1 when the bound held throughout).
 	MaxRatio float64
+	// LastViolationTick is the highest tick at which a δ violation was
+	// observed, or -1 when the stream has none. Recovery assertions use
+	// it: after a fault clears, no violation tick may exceed the clear
+	// tick plus the allowed recovery window.
+	LastViolationTick int64
 }
 
 // auditStream holds one stream's counters; all hot-path fields are
@@ -46,6 +51,7 @@ type auditStream struct {
 	suppressed   atomic.Int64
 	violations   atomic.Int64
 	maxRatioBits atomic.Uint64
+	lastViolTick atomic.Int64 // highest violation tick + 1 (0 = none)
 
 	telTicks      *telemetry.Counter
 	telViolations *telemetry.Counter
@@ -127,6 +133,17 @@ func (a *Auditor) Check(streamID string, tick int64, deviation, bound float64, s
 	if deviation > bound {
 		st.violations.Add(1)
 		st.telViolations.Inc()
+		// CAS-max on tick+1 so the zero value still means "no violation"
+		// for streams whose first violation is tick 0.
+		for {
+			old := st.lastViolTick.Load()
+			if tick+1 <= old {
+				break
+			}
+			if st.lastViolTick.CompareAndSwap(old, tick+1) {
+				break
+			}
+		}
 		if a.journal.Enabled() {
 			a.journal.Record(Event{
 				StreamID: streamID,
@@ -170,18 +187,19 @@ func (a *Auditor) Stats(streamID string) AuditStats {
 	st := a.streams[streamID]
 	a.mu.RUnlock()
 	if st == nil {
-		return AuditStats{StreamID: streamID}
+		return AuditStats{StreamID: streamID, LastViolationTick: -1}
 	}
 	return st.snapshot()
 }
 
 func (st *auditStream) snapshot() AuditStats {
 	return AuditStats{
-		StreamID:   st.id,
-		Ticks:      st.ticks.Load(),
-		Suppressed: st.suppressed.Load(),
-		Violations: st.violations.Load(),
-		MaxRatio:   math.Float64frombits(st.maxRatioBits.Load()),
+		StreamID:          st.id,
+		Ticks:             st.ticks.Load(),
+		Suppressed:        st.suppressed.Load(),
+		Violations:        st.violations.Load(),
+		MaxRatio:          math.Float64frombits(st.maxRatioBits.Load()),
+		LastViolationTick: st.lastViolTick.Load() - 1,
 	}
 }
 

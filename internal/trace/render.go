@@ -32,6 +32,8 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("est %.4g ± %.4g", e.Value, e.Aux)
 	case StageAudit:
 		return fmt.Sprintf("err %.4g > bound %.4g", e.Value, e.Aux)
+	case StageWatchdog:
+		return fmt.Sprintf("staleness %d / deadline %d ticks", int64(e.Value), int64(e.Aux))
 	default:
 		return ""
 	}

@@ -42,6 +42,8 @@ const (
 	StageQuery
 	// StageAudit is an online precision-audit verdict.
 	StageAudit
+	// StageWatchdog is a server-side staleness-watchdog transition.
+	StageWatchdog
 )
 
 func (s Stage) String() string {
@@ -56,6 +58,8 @@ func (s Stage) String() string {
 		return "query"
 	case StageAudit:
 		return "audit"
+	case StageWatchdog:
+		return "watchdog"
 	default:
 		return "unknown"
 	}
@@ -87,6 +91,14 @@ const (
 	// OutcomeViolation: the auditor caught realized error above δ on a
 	// suppressed tick.
 	OutcomeViolation
+	// OutcomeStale: the watchdog marked a silent stream stale.
+	OutcomeStale
+	// OutcomeResyncRequested: the watchdog asked the source to
+	// resynchronize via the feedback channel.
+	OutcomeResyncRequested
+	// OutcomeRecovered: a correction arrived for a stale stream, clearing
+	// the watchdog.
+	OutcomeRecovered
 )
 
 func (o Outcome) String() string {
@@ -111,6 +123,12 @@ func (o Outcome) String() string {
 		return "served"
 	case OutcomeViolation:
 		return "violation"
+	case OutcomeStale:
+		return "stale"
+	case OutcomeResyncRequested:
+		return "resync-requested"
+	case OutcomeRecovered:
+		return "recovered"
 	default:
 		return "unknown"
 	}

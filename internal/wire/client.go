@@ -3,64 +3,372 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
+	"math/rand"
 	"net"
+	"time"
 
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
+	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
 )
+
+// ErrServer wraps errors the server reported via FrameError. They are
+// protocol-level rejections (unknown stream, conflicting registration),
+// not transport failures, so the reconnect machinery never retries them.
+var ErrServer = errors.New("wire: server error")
+
+// ReconnectPolicy shapes the client's automatic redial behaviour.
+// The zero value disables reconnection (a transport error is returned to
+// the caller, matching the original Dial semantics).
+type ReconnectPolicy struct {
+	// MaxAttempts bounds consecutive failed dials before the client
+	// gives up. Zero means the DefaultDialAttempts; negative retries
+	// forever.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms). Each failed
+	// dial doubles it, capped at MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2) so
+	// a fleet of sources does not redial in lockstep after a server
+	// restart.
+	Jitter float64
+	// Seed seeds the jitter RNG; zero means 1, keeping tests
+	// deterministic.
+	Seed int64
+}
+
+// DefaultDialAttempts is the redial budget when MaxAttempts is zero.
+const DefaultDialAttempts = 8
+
+func (p ReconnectPolicy) enabled() bool {
+	return p.MaxAttempts != 0 || p.BaseDelay != 0 || p.MaxDelay != 0 || p.Jitter != 0 || p.Seed != 0
+}
+
+func (p ReconnectPolicy) normalized() ReconnectPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultDialAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
 
 // Client is one TCP connection to a wire server. A source process uses
 // Register + the Source wrapper; a query process uses Query. Client is
 // not safe for concurrent use; open one connection per goroutine.
+//
+// A client built with DialReconnecting transparently redials on
+// transport errors: it replays its registrations (the server adopts the
+// surviving replica on an identical re-register), invokes OnReconnect,
+// and retries the failed operation. Server-reported errors (ErrServer)
+// are never retried.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	addr      string
+	policy    ReconnectPolicy
+	reconnect bool
+	closed    bool
+	regs      []RegisterPayload // replayed after a redial, in order
+	rng       *rand.Rand
+
+	// OnResyncRequest is invoked when the server pushes a
+	// FrameResyncRequest for a stream (its staleness watchdog asking the
+	// source to resynchronize). NetworkedSource installs a hook that
+	// forces a full-snapshot resync on the stream's next observation.
+	OnResyncRequest func(streamID string)
+	// OnReconnect is invoked after a successful redial, once
+	// registrations have been replayed. NetworkedSource installs a hook
+	// that forces a resync, since corrections buffered in the dead
+	// connection may never have arrived.
+	OnReconnect func()
+	// Logger receives reconnect diagnostics; nil means slog.Default().
+	Logger *slog.Logger
+
+	reconnects    int64
+	telReconnects *telemetry.Counter
+	telRedials    *telemetry.Counter
+	telResyncReqs *telemetry.Counter
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server with no reconnect policy.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.addr = addr
+	return c, nil
+}
+
+// DialReconnecting connects to a wire server and arms automatic
+// reconnection with capped exponential backoff and jitter. The initial
+// dial itself goes through the same retry loop, so a source can start
+// before its server.
+func DialReconnecting(addr string, policy ReconnectPolicy) (*Client, error) {
+	c := &Client{
+		addr:      addr,
+		policy:    policy.normalized(),
+		reconnect: true,
+	}
+	c.rng = rand.New(rand.NewSource(c.policy.Seed))
+	c.initTelemetry()
+	conn, err := c.dialWithBackoff()
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	return c, nil
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
-	return &Client{
+	c := &Client{
 		conn: conn,
 		br:   bufio.NewReader(conn),
 		bw:   bufio.NewWriter(conn),
 	}
+	c.initTelemetry()
+	return c
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) initTelemetry() {
+	c.telReconnects = telemetry.Default.Counter("wire_client_reconnects_total")
+	c.telRedials = telemetry.Default.Counter("wire_client_redials_total")
+	c.telResyncReqs = telemetry.Default.Counter("wire_client_resync_requests_total")
+}
+
+// Close closes the connection and disables further reconnection.
+func (c *Client) Close() error {
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
+
+// Reconnects reports how many times the client has successfully
+// re-established its connection.
+func (c *Client) Reconnects() int64 { return c.reconnects }
+
+func (c *Client) logw(msg string, args ...any) {
+	l := c.Logger
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Warn(msg, args...)
+}
+
+// dialWithBackoff dials until a connection succeeds or the attempt
+// budget runs out: delay doubles from BaseDelay to MaxDelay, randomized
+// by ±Jitter.
+func (c *Client) dialWithBackoff() (net.Conn, error) {
+	delay := c.policy.BaseDelay
+	var lastErr error
+	for attempt := 0; c.policy.MaxAttempts < 0 || attempt < c.policy.MaxAttempts; attempt++ {
+		if c.closed {
+			return nil, net.ErrClosed
+		}
+		c.telRedials.Inc()
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		sleep := delay
+		if j := c.policy.Jitter; j > 0 {
+			sleep = time.Duration(float64(delay) * (1 + j*(2*c.rng.Float64()-1)))
+		}
+		c.logw("wire: dial failed, backing off", "addr", c.addr, "attempt", attempt+1, "sleep", sleep.Round(time.Millisecond), "err", err)
+		time.Sleep(sleep)
+		if delay *= 2; delay > c.policy.MaxDelay {
+			delay = c.policy.MaxDelay
+		}
+	}
+	return nil, fmt.Errorf("wire: dial %s: gave up after %d attempts: %w", c.addr, c.policy.MaxAttempts, lastErr)
+}
+
+// redial replaces the dead connection, replays registrations so the
+// server re-adopts the surviving replicas, and fires OnReconnect. A
+// replay rejected by the server (spec conflict) is fatal; a transport
+// failure mid-replay restarts the dial loop.
+func (c *Client) redial() error {
+	if c.closed {
+		return net.ErrClosed
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+redial:
+	for {
+		conn, err := c.dialWithBackoff()
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+		c.br.Reset(conn)
+		c.bw.Reset(conn)
+		for _, p := range c.regs {
+			if err := c.registerOnce(p); err != nil {
+				if errors.Is(err, ErrServer) {
+					return err
+				}
+				conn.Close()
+				continue redial
+			}
+		}
+		break
+	}
+	c.reconnects++
+	c.telReconnects.Inc()
+	c.logw("wire: reconnected", "addr", c.addr, "reconnects", c.reconnects, "streams", len(c.regs))
+	if c.OnReconnect != nil {
+		c.OnReconnect()
+	}
+	return nil
+}
+
+// retryable reports whether an operation error should trigger a redial:
+// the client must be armed for reconnection and the error must be a
+// transport failure, not a server verdict.
+func (c *Client) retryable(err error) bool {
+	return c.reconnect && !c.closed && err != nil && !errors.Is(err, ErrServer)
+}
+
+// maxOpRetries bounds how many redial-and-retry cycles one operation
+// attempts; each cycle already contains a full backoff dial loop.
+const maxOpRetries = 3
+
+// withRetry runs op, redialing and retrying on transport errors.
+func (c *Client) withRetry(op func() error) error {
+	err := op()
+	for cycle := 0; c.retryable(err) && cycle < maxOpRetries; cycle++ {
+		if rerr := c.redial(); rerr != nil {
+			return fmt.Errorf("%w (reconnect: %v)", err, rerr)
+		}
+		err = op()
+	}
+	return err
+}
+
+// handleResyncRequest reacts to a server watchdog push.
+func (c *Client) handleResyncRequest(payload []byte) {
+	c.telResyncReqs.Inc()
+	if c.OnResyncRequest != nil {
+		c.OnResyncRequest(string(payload))
+	}
+}
 
 // expect reads one frame and decodes the common OK/Error/Answer shapes.
+// FrameResyncRequest pushes may arrive at any read point (the only
+// unprompted server frame); they are dispatched and skipped.
 func (c *Client) expect(want uint8) ([]byte, error) {
-	typ, payload, err := ReadFrame(c.br)
-	if err != nil {
-		return nil, err
-	}
-	switch typ {
-	case want:
-		return payload, nil
-	case FrameError:
-		return nil, fmt.Errorf("wire: server error: %s", payload)
-	default:
-		return nil, fmt.Errorf("wire: unexpected frame type %d (want %d)", typ, want)
+	for {
+		typ, payload, err := ReadFrame(c.br)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case want:
+			return payload, nil
+		case FrameResyncRequest:
+			c.handleResyncRequest(payload)
+		case FrameError:
+			return nil, fmt.Errorf("%w: %s", ErrServer, payload)
+		default:
+			return nil, fmt.Errorf("wire: unexpected frame type %d (want %d)", typ, want)
+		}
 	}
 }
 
-// Register announces a stream.
-func (c *Client) Register(id string, spec predictor.Spec, delta float64) error {
-	buf, err := json.Marshal(RegisterPayload{ID: id, Spec: spec, Delta: delta})
+// PollFeedback drains any pending server pushes without blocking the
+// send path: a source's steady state is all writes, so watchdog resync
+// requests would otherwise sit in the socket until the next query. It
+// peeks for a buffered frame header under a millisecond deadline; a
+// timeout means no feedback. Returns how many pushes were handled.
+//
+// Polling is also where a reconnecting client usually discovers a dead
+// connection — writes into a broken socket succeed locally, reads fail
+// fast — so transport errors here redial instead of surfacing.
+func (c *Client) PollFeedback() (int, error) {
+	n := 0
+	for {
+		if c.br.Buffered() < 5 {
+			if err := c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+				return n, c.pollRecover(err)
+			}
+			_, err := c.br.Peek(5)
+			c.conn.SetReadDeadline(time.Time{})
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					// Peek leaves partial bytes buffered, so frame sync
+					// survives a timeout.
+					return n, nil
+				}
+				return n, c.pollRecover(err)
+			}
+		}
+		// A header is buffered; the payload may still be in flight, so
+		// give the read a grace deadline instead of blocking forever.
+		if err := c.conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return n, c.pollRecover(err)
+		}
+		typ, payload, err := ReadFrame(c.br)
+		c.conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			return n, c.pollRecover(err)
+		}
+		switch typ {
+		case FrameResyncRequest:
+			c.handleResyncRequest(payload)
+			n++
+		case FrameError:
+			return n, fmt.Errorf("%w: %s", ErrServer, payload)
+		default:
+			return n, fmt.Errorf("wire: unsolicited frame %s", FrameName(typ))
+		}
+	}
+}
+
+// pollRecover turns a transport error seen while polling into a redial
+// (the registration replay and OnReconnect hook restore stream state);
+// non-retryable errors pass through.
+func (c *Client) pollRecover(err error) error {
+	if !c.retryable(err) {
+		return err
+	}
+	if rerr := c.redial(); rerr != nil {
+		return fmt.Errorf("%w (reconnect: %v)", err, rerr)
+	}
+	return nil
+}
+
+// registerOnce performs one register round-trip on the current
+// connection, without retry (redial replays use it directly).
+func (c *Client) registerOnce(p RegisterPayload) error {
+	buf, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
@@ -74,9 +382,35 @@ func (c *Client) Register(id string, spec predictor.Spec, delta float64) error {
 	return err
 }
 
+// Register announces a stream. A reconnecting client remembers the
+// registration and replays it after every redial; the server treats an
+// identical re-register as a resume and keeps the replica.
+func (c *Client) Register(id string, spec predictor.Spec, delta float64) error {
+	p := RegisterPayload{ID: id, Spec: spec, Delta: delta}
+	if err := c.withRetry(func() error { return c.registerOnce(p) }); err != nil {
+		return err
+	}
+	if c.reconnect {
+		replaced := false
+		for i := range c.regs {
+			if c.regs[i].ID == id {
+				c.regs[i] = p
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			c.regs = append(c.regs, p)
+		}
+	}
+	return nil
+}
+
 // SendCorrection ships a correction message; fire-and-forget. The
 // encoding goes through a pooled buffer, so the steady-state send path
-// performs no allocations.
+// performs no allocations. On a reconnecting client a flush failure
+// redials and re-sends; the server's monotonic-tick guard discards the
+// copy if the original did arrive.
 func (c *Client) SendCorrection(m *netsim.Message) error {
 	bp := netsim.GetBuffer()
 	defer netsim.PutBuffer(bp)
@@ -85,10 +419,12 @@ func (c *Client) SendCorrection(m *netsim.Message) error {
 		return err
 	}
 	*bp = buf[:0]
-	if err := WriteFrame(c.bw, FrameMessage, buf); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.withRetry(func() error {
+		if err := WriteFrame(c.bw, FrameMessage, buf); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	})
 }
 
 // Query asks for a stream's value as of tick.
@@ -97,25 +433,31 @@ func (c *Client) Query(id string, tick int64) (AnswerPayload, error) {
 	if err != nil {
 		return AnswerPayload{}, err
 	}
-	if err := WriteFrame(c.bw, FrameQuery, buf); err != nil {
-		return AnswerPayload{}, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return AnswerPayload{}, err
-	}
-	payload, err := c.expect(FrameAnswer)
-	if err != nil {
-		return AnswerPayload{}, err
-	}
 	var ans AnswerPayload
-	if err := json.Unmarshal(payload, &ans); err != nil {
+	err = c.withRetry(func() error {
+		if err := WriteFrame(c.bw, FrameQuery, buf); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		payload, err := c.expect(FrameAnswer)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(payload, &ans)
+	})
+	if err != nil {
 		return AnswerPayload{}, err
 	}
 	return ans, nil
 }
 
 // SendTrace ships a batch of lifecycle trace events; fire-and-forget,
-// like corrections. An empty batch writes nothing.
+// like corrections. An empty batch writes nothing. A retried batch can
+// be delivered twice in rare failure windows; trace ingestion tolerates
+// that (the ring is diagnostic, and the auditor's per-tick checks are
+// monotonic), which beats silently losing the batch.
 func (c *Client) SendTrace(evs []trace.Event) error {
 	if len(evs) == 0 {
 		return nil
@@ -124,26 +466,33 @@ func (c *Client) SendTrace(evs []trace.Event) error {
 	if err != nil {
 		return err
 	}
-	if err := WriteFrame(c.bw, FrameTrace, buf); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.withRetry(func() error {
+		if err := WriteFrame(c.bw, FrameTrace, buf); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	})
 }
 
 // Metrics fetches the server's telemetry snapshot as Prometheus text —
 // the wire-native way to observe a server with no HTTP listener.
 func (c *Client) Metrics() (string, error) {
-	if err := WriteFrame(c.bw, FrameMetrics, nil); err != nil {
-		return "", err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return "", err
-	}
-	payload, err := c.expect(FrameMetricsReply)
-	if err != nil {
-		return "", err
-	}
-	return string(payload), nil
+	var text string
+	err := c.withRetry(func() error {
+		if err := WriteFrame(c.bw, FrameMetrics, nil); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		payload, err := c.expect(FrameMetricsReply)
+		if err != nil {
+			return err
+		}
+		text = string(payload)
+		return nil
+	})
+	return text, err
 }
 
 // TraceFlushEvery is the default observation interval at which a traced
@@ -153,11 +502,24 @@ func (c *Client) Metrics() (string, error) {
 // still reach the server's auditor within a bounded lag.
 const TraceFlushEvery = 64
 
+// FeedbackPollEvery is the observation interval at which a
+// NetworkedSource polls its connection for server pushes. Watchdog
+// resync requests therefore reach the gate within 32 observations even
+// when the source never queries.
+const FeedbackPollEvery = 32
+
 // NetworkedSource binds a local precision gate to a remote server: the
 // gate's corrections go out over the client connection. When cfg.Trace
 // names a private journal (one this process enables and does not share),
 // the gate's lifecycle events are drained and shipped to the server as
 // FrameTrace batches every TraceFlushEvery observations and on Close.
+//
+// The source participates in the fault-recovery loop: a server
+// FrameResyncRequest push (seen via PollFeedback or any response read)
+// forces a full-snapshot resync on the next observation, and so does
+// every client reconnect — corrections buffered in a dead connection
+// may never have arrived, and the snapshot makes that unknowable state
+// irrelevant.
 type NetworkedSource struct {
 	client *Client
 	src    *source.Source
@@ -173,10 +535,30 @@ type NetworkedSource struct {
 // NewNetworkedSource registers the stream remotely and returns a gate
 // whose corrections flow over the connection.
 func NewNetworkedSource(client *Client, cfg source.Config) (*NetworkedSource, error) {
+	ns := &NetworkedSource{client: client, journal: cfg.Trace}
+	// Chain the hooks rather than replacing them: several sources can
+	// share one client connection.
+	prevResync := client.OnResyncRequest
+	client.OnResyncRequest = func(id string) {
+		if prevResync != nil {
+			prevResync(id)
+		}
+		if id == cfg.StreamID && ns.src != nil {
+			ns.src.RequestResync()
+		}
+	}
+	prevReconnect := client.OnReconnect
+	client.OnReconnect = func() {
+		if prevReconnect != nil {
+			prevReconnect()
+		}
+		if ns.src != nil {
+			ns.src.RequestResync()
+		}
+	}
 	if err := client.Register(cfg.StreamID, cfg.Spec, cfg.Delta); err != nil {
 		return nil, err
 	}
-	ns := &NetworkedSource{client: client, journal: cfg.Trace}
 	src, err := source.New(cfg, func(m *netsim.Message) {
 		if err := client.SendCorrection(m); err != nil && ns.sendErr == nil {
 			ns.sendErr = err
@@ -192,6 +574,14 @@ func NewNetworkedSource(client *Client, cfg source.Config) (*NetworkedSource, er
 // Observe feeds one measurement through the gate, shipping a correction
 // over TCP when required.
 func (ns *NetworkedSource) Observe(tick int64, z []float64) (sent bool, err error) {
+	if ns.ticks%FeedbackPollEvery == 0 {
+		// Polling before the gate runs lets a freshly-arrived resync
+		// request take effect on this very observation.
+		if _, perr := ns.client.PollFeedback(); perr != nil && ns.sendErr == nil {
+			ns.sendErr = perr
+		}
+	}
+	ns.ticks++
 	sent, err = ns.src.Observe(tick, z)
 	if err != nil {
 		return sent, err
@@ -200,7 +590,7 @@ func (ns *NetworkedSource) Observe(tick int64, z []float64) (sent bool, err erro
 		return sent, fmt.Errorf("wire: correction send failed: %w", ns.sendErr)
 	}
 	if ns.journal != nil && ns.journal.Enabled() {
-		if ns.ticks++; ns.ticks%TraceFlushEvery == 0 {
+		if ns.ticks%TraceFlushEvery == 0 {
 			if err := ns.FlushTrace(); err != nil {
 				return sent, err
 			}
@@ -222,3 +612,6 @@ func (ns *NetworkedSource) FlushTrace() error {
 
 // Stats exposes the gate counters.
 func (ns *NetworkedSource) Stats() source.Stats { return ns.src.Stats() }
+
+// Source exposes the underlying gate (tests force resyncs through it).
+func (ns *NetworkedSource) Source() *source.Source { return ns.src }

@@ -51,6 +51,12 @@ const (
 	// auditor in-band, batched so tracing adds at most one frame per
 	// flush rather than one per tick.
 	FrameTrace
+	// FrameResyncRequest carries a raw stream-id payload (server →
+	// client): the staleness watchdog asking the stream's source to
+	// resynchronize. It is the only frame the server pushes unprompted,
+	// so clients must tolerate it at any read point (Client.expect skips
+	// and dispatches it; Client.PollFeedback drains between queries).
+	FrameResyncRequest
 )
 
 // FrameName returns a short human-readable name for a frame type, used
@@ -75,6 +81,8 @@ func FrameName(typ uint8) string {
 		return "metrics-reply"
 	case FrameTrace:
 		return "trace"
+	case FrameResyncRequest:
+		return "resync-request"
 	default:
 		return fmt.Sprintf("unknown(%d)", typ)
 	}

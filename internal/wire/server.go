@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,41 @@ type streamTel struct {
 	suppressed *telemetry.Counter
 }
 
+// connWriter serializes frame writes to one connection: the handler
+// goroutine writes responses and the watchdog goroutine pushes resync
+// requests, so every write must go through the mutex.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	s    *Server
+}
+
+func (cw *connWriter) writeFrame(typ uint8, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if err := WriteFrame(cw.conn, typ, payload); err != nil {
+		return err
+	}
+	cw.s.reg.Counter("wire_bytes_total", "direction", "out").Add(int64(5 + len(payload)))
+	cw.s.reg.Counter("wire_frames_total", "direction", "out").Inc()
+	return nil
+}
+
+// streamHealth is the watchdog's per-stream view: when traffic last
+// arrived, which connection registered the stream (the push target for
+// resync requests), and the current verdict.
+type streamHealth struct {
+	lastMsg time.Time
+	owner   *connWriter
+	stale   bool
+	lastReq time.Time
+	// lastTick is the highest message tick applied (-1 before the
+	// first). TCP never duplicates within a connection, but a reconnect
+	// can replay a tail the server already applied; the monotonic-tick
+	// guard makes re-application impossible by construction.
+	lastTick int64
+}
+
 // Server accepts source and query connections and hosts the replica
 // cache. Unlike the single-threaded core.System, it is safe for
 // concurrent connections: one mutex serializes replica access (state
@@ -57,6 +93,14 @@ type Server struct {
 	srv      *server.Server
 	advanced map[string]int64 // ticks each replica has been stepped through
 	streams  map[string]*streamTel
+	specs    map[string]RegisterPayload // registration echo for idempotent re-register
+	health   map[string]*streamHealth   // wall-clock staleness watchdog state
+
+	staleAfter    time.Duration
+	watchdogStop  chan struct{}
+	watchdogDone  chan struct{}
+	watchdogOnce  sync.Once
+	watchdogClose sync.Once
 
 	// Logger receives structured connection diagnostics; nil means
 	// slog.Default().
@@ -76,6 +120,9 @@ type Server struct {
 	telConnsActive *telemetry.Gauge
 	telLatency     *telemetry.Histogram
 	telErrors      *telemetry.Counter
+	telStale       *telemetry.Gauge
+	telStaleTotal  *telemetry.Counter
+	telResyncReqs  *telemetry.Counter
 }
 
 // Options configures a wire server beyond the defaults.
@@ -88,6 +135,14 @@ type Options struct {
 	// Replica applies and queries record events on it when enabled, and
 	// FrameTrace batches from sources are ingested into it.
 	Trace *trace.Journal
+	// StaleAfter arms the wall-clock staleness watchdog: a stream with
+	// no traffic (correction, resync, or heartbeat) for this long is
+	// marked stale and sent a FrameResyncRequest push on the connection
+	// that registered it, repeated every StaleAfter while the silence
+	// lasts. Zero leaves the watchdog off. Wall-clock, not ticks: a
+	// networked source drives its own clock, so a silent stream's tick
+	// counter does not advance and tick staleness cannot be observed.
+	StaleAfter time.Duration
 }
 
 // NewServer returns an empty wire server instrumented against
@@ -115,18 +170,147 @@ func NewServerWith(opts Options) *Server {
 		auditor:        trace.NewAuditor(reg, tr),
 		advanced:       make(map[string]int64),
 		streams:        make(map[string]*streamTel),
+		specs:          make(map[string]RegisterPayload),
+		health:         make(map[string]*streamHealth),
+		staleAfter:     opts.StaleAfter,
+		watchdogStop:   make(chan struct{}),
+		watchdogDone:   make(chan struct{}),
 		Logger:         opts.Logger,
 		reg:            reg,
 		telConns:       reg.Counter("wire_connections_total"),
 		telConnsActive: reg.Gauge("wire_connections_active"),
 		telLatency:     reg.Histogram("query_latency_seconds", telemetry.LatencyBuckets),
 		telErrors:      reg.Counter("wire_errors_total"),
+		telStale:       reg.Gauge("streams_stale"),
+		telStaleTotal:  reg.Counter("watchdog_stale_total"),
+		telResyncReqs:  reg.Counter("watchdog_resync_requests_total"),
 	}
 	reg.Help("corrections_sent_total", "corrections applied per stream")
 	reg.Help("corrections_suppressed_total", "replica ticks advanced without a correction, per stream")
 	reg.Help("wire_bytes_total", "bytes on the wire by direction")
 	reg.Help("query_latency_seconds", "wire query handling latency")
+	reg.Help("streams_stale", "streams currently silent past the watchdog deadline")
+	reg.Help("watchdog_resync_requests_total", "resync requests pushed to sources")
+	if s.staleAfter > 0 {
+		s.StartWatchdog()
+	}
 	return s
+}
+
+// StartWatchdog launches the wall-clock staleness scanner (idempotent;
+// a no-op when Options.StaleAfter was zero). NewServerWith calls it
+// automatically when StaleAfter is set.
+func (s *Server) StartWatchdog() {
+	if s.staleAfter <= 0 {
+		return
+	}
+	s.watchdogOnce.Do(func() {
+		go s.watchdogLoop()
+	})
+}
+
+// StopWatchdog stops the staleness scanner and waits for it to exit.
+// Safe to call multiple times and without a prior StartWatchdog.
+func (s *Server) StopWatchdog() {
+	s.watchdogClose.Do(func() { close(s.watchdogStop) })
+	if s.staleAfter > 0 {
+		s.watchdogOnce.Do(func() { close(s.watchdogDone) }) // never started
+		<-s.watchdogDone
+	}
+}
+
+// watchdogLoop scans stream health four times per deadline — often
+// enough that detection lag stays well under half a deadline.
+func (s *Server) watchdogLoop() {
+	defer close(s.watchdogDone)
+	interval := s.staleAfter / 4
+	if interval <= 0 {
+		interval = s.staleAfter
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case now := <-t.C:
+			s.scanStale(now)
+		}
+	}
+}
+
+// resyncPush is one pending watchdog push, collected under the server
+// lock and written outside it (a slow peer must not stall the scan).
+type resyncPush struct {
+	id    string
+	owner *connWriter
+}
+
+// scanStale marks streams silent past the deadline and pushes resync
+// requests to their owning connections, re-requesting every deadline
+// while the silence lasts.
+func (s *Server) scanStale(now time.Time) {
+	var pushes []resyncPush
+	s.mu.Lock()
+	staleCount := 0
+	for id, h := range s.health {
+		if now.Sub(h.lastMsg) <= s.staleAfter {
+			continue
+		}
+		if !h.stale {
+			h.stale = true
+			s.telStaleTotal.Inc()
+			s.logw("wire: stream stale", "stream", id, "silent", now.Sub(h.lastMsg).Round(time.Millisecond))
+			if s.tr.Enabled() {
+				s.tr.Record(trace.Event{
+					StreamID: id,
+					Stage:    trace.StageWatchdog,
+					Outcome:  trace.OutcomeStale,
+					Value:    now.Sub(h.lastMsg).Seconds(),
+					Aux:      s.staleAfter.Seconds(),
+				})
+			}
+		}
+		if h.owner != nil && now.Sub(h.lastReq) > s.staleAfter {
+			h.lastReq = now
+			pushes = append(pushes, resyncPush{id: id, owner: h.owner})
+		}
+	}
+	for _, h := range s.health {
+		if h.stale {
+			staleCount++
+		}
+	}
+	s.telStale.Set(float64(staleCount))
+	s.mu.Unlock()
+	for _, p := range pushes {
+		s.telResyncReqs.Inc()
+		if s.tr.Enabled() {
+			s.tr.Record(trace.Event{
+				StreamID: p.id,
+				Stage:    trace.StageWatchdog,
+				Outcome:  trace.OutcomeResyncRequested,
+				Value:    s.staleAfter.Seconds(),
+			})
+		}
+		if err := p.owner.writeFrame(FrameResyncRequest, []byte(p.id)); err != nil {
+			s.logw("wire: resync-request push failed", "stream", p.id, "err", err)
+		}
+	}
+}
+
+// StaleStreams returns the IDs of streams the wall-clock watchdog
+// currently has marked stale.
+func (s *Server) StaleStreams() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, h := range s.health {
+		if h.stale {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Registry returns the server's telemetry registry.
@@ -191,12 +375,35 @@ func (s *Server) advanceTo(id string, tick int64) (steps int64, err error) {
 // Register creates a stream replica (exposed for in-process use and
 // tests; connections invoke it via FrameRegister).
 func (s *Server) Register(p RegisterPayload) error {
+	return s.register(p, nil)
+}
+
+// register creates the replica or, for a reconnecting source announcing
+// an identical registration, adopts the existing one: the replica's
+// advanced state survives the connection, which is exactly what lets a
+// reconnect resume mid-stream. A re-register with a different spec or δ
+// is a conflict, not a resume, and is rejected.
+func (s *Server) register(p RegisterPayload, owner *connWriter) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if prev, ok := s.specs[p.ID]; ok {
+		if !reflect.DeepEqual(prev.Spec, p.Spec) || prev.Delta != p.Delta {
+			return fmt.Errorf("wire: stream %q re-registered with a different spec or delta", p.ID)
+		}
+		// Same registration: transfer ownership to the new connection and
+		// treat the announcement as traffic (the source is demonstrably
+		// alive, and a forced resync follows on its next correction).
+		h := s.health[p.ID]
+		h.owner = owner
+		h.lastMsg = time.Now()
+		return nil
+	}
 	if err := s.srv.Register(p.ID, p.Spec, p.Delta); err != nil {
 		return err
 	}
 	s.advanced[p.ID] = 0
+	s.specs[p.ID] = p
+	s.health[p.ID] = &streamHealth{lastMsg: time.Now(), owner: owner, lastTick: -1}
 	s.streams[p.ID] = &streamTel{
 		sent:       s.reg.Counter("corrections_sent_total", "stream", p.ID),
 		suppressed: s.reg.Counter("corrections_suppressed_total", "stream", p.ID),
@@ -205,11 +412,42 @@ func (s *Server) Register(p RegisterPayload) error {
 	return nil
 }
 
+// noteTraffic records message arrival for the watchdog, clearing a
+// stale verdict. Caller holds mu.
+func (s *Server) noteTraffic(id string) {
+	h := s.health[id]
+	if h == nil {
+		return
+	}
+	h.lastMsg = time.Now()
+	if h.stale {
+		h.stale = false
+		h.lastReq = time.Time{}
+		s.logw("wire: stream recovered", "stream", id)
+		if s.tr.Enabled() {
+			s.tr.Record(trace.Event{
+				StreamID: id,
+				Stage:    trace.StageWatchdog,
+				Outcome:  trace.OutcomeRecovered,
+			})
+		}
+	}
+}
+
 // Apply ingests a correction, rolling the replica to the message's tick
-// first.
+// first. Messages at or before the last applied tick are discarded: a
+// reconnecting source may replay a tail the server already applied, and
+// applying a correction twice would double-step the replica.
 func (s *Server) Apply(m *netsim.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if h := s.health[m.StreamID]; h != nil {
+		if m.Tick <= h.lastTick {
+			s.reg.Counter("wire_duplicates_dropped_total", "stream", m.StreamID).Inc()
+			return nil
+		}
+		h.lastTick = m.Tick
+	}
 	steps, err := s.advanceTo(m.StreamID, m.Tick)
 	if err != nil {
 		return err
@@ -217,6 +455,7 @@ func (s *Server) Apply(m *netsim.Message) error {
 	if err := s.srv.Apply(m); err != nil {
 		return err
 	}
+	s.noteTraffic(m.StreamID)
 	if t := s.streams[m.StreamID]; t != nil && m.Kind != netsim.KindHeartbeat {
 		// The arrival tick carried a correction; the ticks rolled through
 		// on the way there were suppressed by the source's gate.
@@ -279,6 +518,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.telConnsActive.Add(1)
 	defer s.telConnsActive.Add(-1)
 
+	// All writes to this connection — handler responses and watchdog
+	// pushes alike — go through one connWriter so they never interleave.
+	cw := &connWriter{conn: conn, s: s}
+	defer s.releaseConn(cw)
+
 	bytesIn := s.reg.Counter("wire_bytes_total", "direction", "in")
 	framesIn := s.reg.Counter("wire_frames_total", "direction", "in")
 	// One decode target per connection: DecodeInto reuses its Value
@@ -297,9 +541,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Frame overhead is 4 length bytes + 1 type byte.
 		bytesIn.Add(int64(5 + len(payload)))
 		framesIn.Inc()
-		if err := s.dispatch(conn, typ, payload, &msg); err != nil {
+		if err := s.dispatch(cw, typ, payload, &msg); err != nil {
 			s.telErrors.Inc()
-			if writeErr := s.writeFrame(conn, FrameError, []byte(err.Error())); writeErr != nil {
+			if writeErr := cw.writeFrame(FrameError, []byte(err.Error())); writeErr != nil {
 				s.logw("wire: write error frame failed",
 					"remote", conn.RemoteAddr().String(), "conn", connID, "err", writeErr)
 				return
@@ -308,27 +552,31 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// writeFrame sends one frame and accounts its bytes.
-func (s *Server) writeFrame(conn net.Conn, typ uint8, payload []byte) error {
-	if err := WriteFrame(conn, typ, payload); err != nil {
-		return err
+// releaseConn detaches a closing connection from the streams it owns so
+// the watchdog stops pushing resync requests at a dead socket. The
+// stream itself — replica, advanced state, health record — survives: a
+// reconnect re-registers and adopts it.
+func (s *Server) releaseConn(cw *connWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.health {
+		if h.owner == cw {
+			h.owner = nil
+		}
 	}
-	s.reg.Counter("wire_bytes_total", "direction", "out").Add(int64(5 + len(payload)))
-	s.reg.Counter("wire_frames_total", "direction", "out").Inc()
-	return nil
 }
 
-func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte, msg *netsim.Message) error {
+func (s *Server) dispatch(cw *connWriter, typ uint8, payload []byte, msg *netsim.Message) error {
 	switch typ {
 	case FrameRegister:
 		var p RegisterPayload
 		if err := json.Unmarshal(payload, &p); err != nil {
 			return fmt.Errorf("wire: bad register payload: %w", err)
 		}
-		if err := s.Register(p); err != nil {
+		if err := s.register(p, cw); err != nil {
 			return err
 		}
-		return s.writeFrame(conn, FrameOK, nil)
+		return cw.writeFrame(FrameOK, nil)
 	case FrameMessage:
 		if err := netsim.DecodeInto(msg, payload); err != nil {
 			return err
@@ -353,7 +601,7 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte, msg *netsim.
 		if err != nil {
 			return err
 		}
-		return s.writeFrame(conn, FrameAnswer, buf)
+		return cw.writeFrame(FrameAnswer, buf)
 	case FrameTrace:
 		var evs []trace.Event
 		if err := json.Unmarshal(payload, &evs); err != nil {
@@ -375,7 +623,7 @@ func (s *Server) dispatch(conn net.Conn, typ uint8, payload []byte, msg *netsim.
 		if len(text)+1 > MaxFrameSize {
 			return fmt.Errorf("wire: metrics snapshot (%d bytes) exceeds frame limit", len(text))
 		}
-		return s.writeFrame(conn, FrameMetricsReply, text)
+		return cw.writeFrame(FrameMetricsReply, text)
 	default:
 		return fmt.Errorf("wire: unexpected frame type %d (%s)", typ, FrameName(typ))
 	}

@@ -178,12 +178,16 @@ func TestTCPServerErrors(t *testing.T) {
 	if err := c.Register("bad", predictor.Spec{Kind: "bogus"}, 1); err == nil {
 		t.Fatal("bad spec registered")
 	}
-	// Duplicate registration rejected.
+	// Identical re-registration is a resume (reconnect support)...
 	if err := c.Register("a", cvSpec(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Register("a", cvSpec(), 1); err == nil {
-		t.Fatal("duplicate registration accepted")
+	if err := c.Register("a", cvSpec(), 1); err != nil {
+		t.Fatalf("identical re-registration should resume, got %v", err)
+	}
+	// ...but a conflicting one (different δ) is rejected.
+	if err := c.Register("a", cvSpec(), 2); err == nil {
+		t.Fatal("conflicting re-registration accepted")
 	}
 	// Connection must still be usable after errors.
 	if _, err := c.Query("a", 5); err != nil {
