@@ -8,17 +8,20 @@ package kalmanstream_test
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"testing"
 
 	"kalmanstream/internal/core"
 	"kalmanstream/internal/harness"
+	"kalmanstream/internal/health"
 	"kalmanstream/internal/kalman"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
+	"kalmanstream/internal/telemetry"
 )
 
 // benchTicks keeps experiment benchmarks at a scale where one iteration
@@ -182,9 +185,73 @@ func BenchmarkSystemScaleParallel(b *testing.B) {
 	benchSystemScale(b, runtime.GOMAXPROCS(0))
 }
 
+// benchMonitor builds the SLO monitor wired into the scale benchmarks:
+// a counter, a gauge and a latency histogram under one SLO each — the
+// same shape kfserver configures — so the scale numbers include the
+// cost of health monitoring, and the micro-benchmarks below price its
+// tick and snapshot paths in isolation.
+func benchMonitor(b *testing.B, windowTicks int) (*health.Monitor, *telemetry.Registry) {
+	b.Helper()
+	reg := telemetry.New()
+	mon := health.NewMonitor(health.Config{
+		WindowTicks: windowTicks, Windows: 64,
+		FastWindows: 2, SlowWindows: 8, ResolveAfter: 2,
+		Registry: reg,
+		Logger:   slog.New(slog.DiscardHandler),
+	})
+	bad := reg.Counter("bench_bad")
+	total := reg.Counter("bench_total")
+	gauge := reg.Gauge("bench_stale")
+	hist := reg.Histogram("bench_latency", telemetry.LatencyBuckets)
+	for _, err := range []error{
+		mon.TrackCounter("bad", bad),
+		mon.TrackCounter("total", total),
+		mon.TrackGauge("stale", gauge),
+		mon.TrackHistogram("latency", hist),
+		mon.RatioSLO("error-ratio", "bad", "total", 0.01, health.Thresholds{}),
+		mon.GaugeSLO("staleness", "stale", 0, health.Thresholds{}),
+		mon.LatencySLO("latency-p99", "latency", 0.99, 1e-2, health.Thresholds{}),
+	} {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total.Add(1)
+	hist.Observe(1e-3)
+	return mon, reg
+}
+
+// BenchmarkMonitorTick prices one health monitor tick on the steady
+// state — tracked series sampled every tick, a window close plus SLO
+// evaluation every windowTicks. The allocs/op column must read 0
+// (guarded by TestMonitorTickZeroAlloc).
+func BenchmarkMonitorTick(b *testing.B) {
+	mon, _ := benchMonitor(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon.Tick()
+	}
+}
+
+// BenchmarkWindowSnapshot prices the /debug/health read path: a full
+// Snapshot over a ring populated with closed windows.
+func BenchmarkWindowSnapshot(b *testing.B) {
+	mon, _ := benchMonitor(b, 1)
+	for i := 0; i < 128; i++ {
+		mon.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mon.Snapshot()
+	}
+}
+
 func benchSystemScale(b *testing.B, workers int) {
 	const nStreams = 1000
-	sys, err := core.NewSystem(core.SystemConfig{Workers: workers})
+	mon, reg := benchMonitor(b, 100)
+	sys, err := core.NewSystem(core.SystemConfig{Workers: workers, Health: mon, Telemetry: reg})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -15,10 +15,18 @@
 // mounted at /debug/pprof/ on the HTTP mux. Diagnostics are structured
 // log/slog records on stderr.
 //
+// Health: with -http set the server also runs the SLO monitor
+// (internal/health) over its own telemetry — δ audit error ratio,
+// staleness, and frame-handling p99 — evaluating multi-window burn
+// rates every -health-interval. /healthz answers liveness, /readyz
+// fails while any PAGE alert is active, and /debug/health serves the
+// full JSON snapshot (per-SLO burn rates, window series, active
+// alerts, per-stream counters) that `streamkf top` renders live.
+//
 // Usage:
 //
 //	kfserver [-addr :9653] [-http :9654] [-trace] [-logjson]
-//	         [-stale-after 5s]
+//	         [-stale-after 5s] [-health-interval 1s]
 //
 // -stale-after arms the staleness watchdog: a registered stream with no
 // traffic for that long is marked stale (streams_stale gauge) and its
@@ -33,7 +41,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
+	"kalmanstream/internal/health"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
 	"kalmanstream/internal/wire"
@@ -41,10 +51,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9653", "listen address")
-	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics, /debug/vars, /debug/trace, and /debug/pprof/ (e.g. :9654)")
+	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics, /debug/vars, /debug/trace, /debug/pprof/, and the health endpoints (e.g. :9654)")
 	traceOn := flag.Bool("trace", false, "enable the lifecycle trace journal (browse at /debug/trace)")
 	traceCap := flag.Int("trace-buf", trace.DefaultCapacity, "trace ring capacity per shard (newest events win)")
 	staleAfter := flag.Duration("stale-after", 0, "mark a stream stale and push resync requests after this much silence (0 = watchdog off)")
+	healthInterval := flag.Duration("health-interval", time.Second, "SLO monitor tick interval; one rolling window closes per tick (0 = monitor off)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -62,15 +73,37 @@ func main() {
 	}
 	journal := trace.NewJournal(trace.DefaultShards, *traceCap)
 	journal.SetEnabled(*traceOn)
+
+	// The SLO monitor only makes sense with somewhere to serve its
+	// verdicts, so it rides the -http flag. Wall-clock windows: one per
+	// health-interval, fast span 1m / slow span 15m at the 1s default
+	// (Google-SRE multi-window burn rates).
+	var mon *health.Monitor
+	if *httpAddr != "" && *healthInterval > 0 {
+		mon = health.NewMonitor(health.Config{
+			WindowTicks:  60, // sampled every interval, one window per minute
+			Windows:      64,
+			FastWindows:  1,
+			SlowWindows:  15,
+			ResolveAfter: 2,
+			Registry:     telemetry.Default,
+			Logger:       logger.With("component", "health"),
+		})
+	}
 	srv := wire.NewServerWith(wire.Options{
 		Logger:     logger,
 		Metrics:    telemetry.Default,
 		Trace:      journal,
 		StaleAfter: *staleAfter,
+		Health:     mon,
 	})
 	defer srv.StopWatchdog()
+	if mon != nil {
+		mon.Start(*healthInterval)
+		defer mon.Stop()
+	}
 	logger.Info("listening", "addr", l.Addr().String(), "trace", *traceOn,
-		"stale-after", staleAfter.String())
+		"stale-after", staleAfter.String(), "health", mon != nil)
 
 	if *httpAddr != "" {
 		go serveHTTP(*httpAddr, srv, logger)
@@ -84,7 +117,8 @@ func main() {
 
 // serveHTTP exposes the registry at /metrics (Prometheus text) and
 // /debug/vars (JSON), the lifecycle journal and precision audit at
-// /debug/trace, and the Go runtime profiles at /debug/pprof/.
+// /debug/trace, the Go runtime profiles at /debug/pprof/, and — when
+// the SLO monitor is running — /healthz, /readyz, and /debug/health.
 // Exposition failures mid-write are connection errors, not server
 // state; they are logged and the connection dropped.
 func serveHTTP(addr string, srv *wire.Server, logger *slog.Logger) {
@@ -103,6 +137,11 @@ func serveHTTP(addr string, srv *wire.Server, logger *slog.Logger) {
 		}
 	})
 	mux.Handle("/debug/trace", trace.Handler(srv.Trace(), srv.Auditor()))
+	if mon := srv.Health(); mon != nil {
+		mux.Handle("/healthz", health.LivenessHandler())
+		mux.Handle("/readyz", health.ReadyHandler(mon))
+		mux.Handle("/debug/health", health.Handler(mon, srv.HealthStreams))
+	}
 	// net/http/pprof only self-registers on http.DefaultServeMux; mount
 	// its handlers on ours explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -25,6 +25,8 @@ func cmdChaos(args []string) error {
 	window := fs.Int64("window", 0, "recovery window after the last fault clears (0 = 4x deadline)")
 	schedule := fs.String("schedule", "", "fault schedule as name:from:until:kind[:p] entries separated by commas; kinds: drop, delay, dup, reorder, partition, fbdrop (empty = built-in scenario)")
 	out := fs.String("out", "", "also write the summary to this file")
+	healthOut := fs.String("health-out", "", "also write the SLO monitor's alert log to this file")
+	noHealth := fs.Bool("no-health", false, "disarm the SLO monitor (the unarmed control arm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +51,7 @@ func cmdChaos(args []string) error {
 		WatchdogDeadline: *deadline,
 		RecoveryWindow:   *window,
 		Schedule:         sched,
+		DisableHealth:    *noHealth,
 	})
 	if err != nil {
 		return err
@@ -66,9 +69,21 @@ func cmdChaos(args []string) error {
 			return err
 		}
 	}
+	if !*noHealth {
+		hs := rep.HealthSummary()
+		fmt.Print(hs)
+		if *healthOut != "" {
+			if err := os.WriteFile(*healthOut, []byte(hs), 0o644); err != nil {
+				return err
+			}
+		}
+	}
 	if !rep.Recovered {
 		return fmt.Errorf("chaos: precision not restored within %d ticks of the last fault clearing at %d (last violation tick %d)",
 			rep.RecoveryWindow, rep.ClearTick, rep.LastViolation)
+	}
+	if len(rep.NeverCleared) > 0 {
+		return fmt.Errorf("chaos: alerts never cleared: %s", strings.Join(rep.NeverCleared, ", "))
 	}
 	return nil
 }

@@ -44,6 +44,8 @@ func main() {
 		err = cmdSelfcheck(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -80,14 +82,21 @@ commands:
                                     (gate → link → apply → query) + audit
   selfcheck [-seed S]               verify the protocol invariants (hard
                                     bound, replica lock-step, composition)
+                                    on this machine's floating point
   chaos [-ticks N] [-seed S] [-schedule SPEC] [-out FILE]
                                     drive a deterministic fault schedule
                                     (loss, delay, reorder, duplicate,
                                     partition) through the pipeline and
                                     verify bounded-staleness recovery;
                                     exits nonzero when precision is not
-                                    restored within the window
-                                    on this machine's floating point
+                                    restored within the window or an SLO
+                                    alert never clears
+  top [-http H:P] [-interval D] [-n N]
+                                    live ANSI dashboard over a kfserver's
+                                    /debug/health: per-SLO burn rates with
+                                    window sparklines, per-stream send and
+                                    suppress rates, stale flags, and the
+                                    recent alert log
 trace kinds: random-walk, linear-drift, sine, ou, regime, network, gbm, waypoint2d
 replay methods: cache, dead-reckoning, ewma, kalman-rw, kalman-cv, kalman-bank, all
 `)

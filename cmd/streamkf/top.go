@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"kalmanstream/internal/health"
+)
+
+// cmdTop renders a live plain-ANSI dashboard over a running kfserver's
+// /debug/health endpoint: per-SLO burn rates with a per-window
+// bad-ratio sparkline, per-stream send/suppress rates (derived by
+// diffing cumulative counters between polls), stale flags, and the
+// recent alert log.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	httpAddr := fs.String("http", "localhost:9654", "kfserver HTTP address (the -http flag it was started with)")
+	interval := fs.Duration("interval", time.Second, "poll and redraw interval")
+	count := fs.Int("n", 0, "number of refreshes before exiting (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("http://%s/debug/health", *httpAddr)
+	client := &http.Client{Timeout: *interval}
+
+	var prev *health.DebugPayload
+	var prevAt time.Time
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := fetchHealth(client, url)
+		if err != nil {
+			return fmt.Errorf("top: %w (is kfserver running with -http %s?)", err, *httpAddr)
+		}
+		now := time.Now()
+		elapsed := 0.0
+		if prev != nil {
+			elapsed = now.Sub(prevAt).Seconds()
+		}
+		// Clear screen, home cursor: plain ANSI, no TUI dependency.
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Print(renderTop(prev, cur, elapsed))
+		prev, prevAt = cur, now
+	}
+	return nil
+}
+
+func fetchHealth(client *http.Client, url string) (*health.DebugPayload, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var payload health.DebugPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &payload, nil
+}
+
+// sparkRunes is the classic eighth-block ramp.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a fixed-height sparkline, scaled to the
+// largest value (an all-zero series renders as a flat baseline).
+func spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// renderTop formats one dashboard frame. prev is the previous poll (nil
+// on the first frame — rates show as "-" until there is a baseline) and
+// elapsed the wall-clock seconds between the polls.
+func renderTop(prev, cur *health.DebugPayload, elapsed float64) string {
+	var b strings.Builder
+	sev := strings.ToUpper(cur.Severity)
+	fmt.Fprintf(&b, "kalmanstream top — tick %d, severity %s, %d active alert(s), %d stream(s)\n\n",
+		cur.Tick, sev, cur.ActiveAlerts, len(cur.Streams))
+
+	fmt.Fprintf(&b, "%-18s %-5s %14s %8s  %s\n", "SLO", "SEV", "BURN fast/slow", "BUDGET", "WINDOWS (bad ratio)")
+	for _, s := range cur.SLOs {
+		fmt.Fprintf(&b, "%-18s %-5s %6s/%-7s %8.3g  %s\n",
+			s.Name, s.Severity, fmtBurn(s.BurnFast), fmtBurn(s.BurnSlow), s.Budget, spark(s.Windows))
+	}
+
+	fmt.Fprintf(&b, "\n%-12s %9s %9s %8s %6s\n", "STREAM", "SENT/s", "SUPP/s", "δ", "STALE")
+	prevStreams := map[string]health.StreamStat{}
+	if prev != nil {
+		for _, st := range prev.Streams {
+			prevStreams[st.ID] = st
+		}
+	}
+	streams := append([]health.StreamStat(nil), cur.Streams...)
+	sort.Slice(streams, func(i, j int) bool { return streams[i].ID < streams[j].ID })
+	for _, st := range streams {
+		sent, supp := "-", "-"
+		if p, ok := prevStreams[st.ID]; ok && elapsed > 0 {
+			sent = fmt.Sprintf("%.1f", float64(st.Sent-p.Sent)/elapsed)
+			supp = fmt.Sprintf("%.1f", float64(st.Suppressed-p.Suppressed)/elapsed)
+		}
+		staleMark := ""
+		if st.Stale {
+			staleMark = "STALE"
+		}
+		fmt.Fprintf(&b, "%-12s %9s %9s %8.3g %6s\n", st.ID, sent, supp, st.Delta, staleMark)
+	}
+
+	if len(cur.Transitions) > 0 {
+		b.WriteString("\nrecent alerts:\n")
+		for _, tr := range cur.Transitions {
+			fmt.Fprintf(&b, "  tick %-8d %-18s %s -> %s (burn %s/%s)\n",
+				tr.Tick, tr.SLO, tr.FromName, tr.ToName, fmtBurn(tr.BurnFast), fmtBurn(tr.BurnSlow))
+		}
+	}
+	return b.String()
+}
+
+// fmtBurn keeps burn rates readable: the JSON +Inf sentinel renders as
+// "inf" rather than a nine-digit number.
+func fmtBurn(v float64) string {
+	if v >= 1e9 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

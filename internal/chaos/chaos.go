@@ -9,9 +9,11 @@ package chaos
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"kalmanstream/internal/core"
+	"kalmanstream/internal/health"
 	"kalmanstream/internal/stream"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
@@ -173,6 +175,14 @@ type Config struct {
 	Trace *trace.Journal
 	// NewStream overrides the generator (default a seeded sine wave).
 	NewStream func(seed, ticks int64) stream.Stream
+	// DisableHealth turns the SLO monitor off — the unarmed control arm
+	// for asserting that monitoring is a pure observer (armed and
+	// unarmed runs must produce byte-identical summaries).
+	DisableHealth bool
+	// DeltaBudget is the δ-violation error budget per audited tick for
+	// the burn-rate SLO (default 0.02: a sustained 4% violation ratio
+	// burns at 2× and warns, 20% burns at 10× and pages).
+	DeltaBudget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +202,9 @@ func (c Config) withDefaults() Config {
 		c.NewStream = func(seed, ticks int64) stream.Stream {
 			return stream.NewSine(seed, 50, 10, 300, 0, 0.2, ticks)
 		}
+	}
+	if c.DeltaBudget <= 0 {
+		c.DeltaBudget = 0.02
 	}
 	return c
 }
@@ -235,6 +248,12 @@ type Report struct {
 	RecoveryWindow int64
 	Recovered      bool
 	LastViolation  int64
+	// Alerts is the SLO monitor's transition log (empty when the monitor
+	// was disabled or the run stayed healthy).
+	Alerts []health.Transition
+	// NeverCleared lists objectives still non-OK when the run ended — a
+	// fault whose alert never resolved.
+	NeverCleared []string
 }
 
 // Summary renders the report as the plain-text block the chaos smoke
@@ -257,6 +276,24 @@ func (r Report) Summary() string {
 	return b.String()
 }
 
+// HealthSummary renders the SLO monitor's view of the run: every alert
+// transition plus any objective that never cleared. Kept separate from
+// Summary so the classic chaos artifact stays byte-identical whether or
+// not the monitor is armed.
+func (r Report) HealthSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health: %d alert transitions, %d never cleared\n",
+		len(r.Alerts), len(r.NeverCleared))
+	for _, tr := range r.Alerts {
+		fmt.Fprintf(&b, "  tick %6d  %-12s %s -> %s (burn fast %.2f, slow %.2f)\n",
+			tr.Tick, tr.SLO, tr.From, tr.To, tr.BurnFast, tr.BurnSlow)
+	}
+	for _, name := range r.NeverCleared {
+		fmt.Fprintf(&b, "  NEVER CLEARED: %s\n", name)
+	}
+	return b.String()
+}
+
 // StreamID is the stream a chaos run attaches.
 const StreamID = "chaos-1"
 
@@ -271,10 +308,31 @@ func Run(cfg Config) (Report, error) {
 	if tr == nil {
 		tr = trace.NewJournal(1, 1) // disabled, private: no trace.Default noise
 	}
+	reg := telemetry.New()
+	rep := Report{ClearTick: cfg.Schedule.ClearTick()}
+	var mon *health.Monitor
+	if !cfg.DisableHealth {
+		// Tick-driven windows one heartbeat wide: the fast span reacts
+		// within two heartbeats, the slow span confirms over eight, and
+		// hysteresis needs two clean windows — so an alert clears within
+		// ~4 windows (4× HeartbeatEvery ticks) of heal, inside the same
+		// bounded-staleness budget the recovery verdict uses.
+		mon = health.NewMonitor(health.Config{
+			WindowTicks:  int(cfg.HeartbeatEvery),
+			Windows:      64,
+			FastWindows:  2,
+			SlowWindows:  8,
+			ResolveAfter: 2,
+			Registry:     reg,
+			Logger:       slog.New(slog.DiscardHandler),
+			OnTransition: func(t health.Transition) { rep.Alerts = append(rep.Alerts, t) },
+		})
+	}
 	sys, err := core.NewSystem(core.SystemConfig{
 		Trace:     tr,
 		Audit:     true,
-		Telemetry: telemetry.New(),
+		Telemetry: reg,
+		Health:    mon,
 	})
 	if err != nil {
 		return Report{}, err
@@ -293,8 +351,30 @@ func Run(cfg Config) (Report, error) {
 		return Report{}, err
 	}
 
+	if mon != nil {
+		// The staleness objective has a zero budget — any window with the
+		// stream stale pages. The δ objective burns against DeltaBudget.
+		auditor := sys.Auditor()
+		for _, err := range []error{
+			mon.TrackGaugeFunc("stale", func() float64 {
+				if h.Stale() {
+					return 1
+				}
+				return 0
+			}),
+			mon.TrackCounterFunc("audit_ticks", auditor.TotalTicks),
+			mon.TrackCounterFunc("audit_delta_violations", auditor.TotalViolations),
+			mon.GaugeSLO("staleness", "stale", 0, health.Thresholds{}),
+			mon.RatioSLO("delta-burn", "audit_delta_violations", "audit_ticks",
+				cfg.DeltaBudget, health.Thresholds{}),
+		} {
+			if err != nil {
+				return Report{}, fmt.Errorf("chaos: health wiring: %w", err)
+			}
+		}
+	}
+
 	gen := cfg.NewStream(cfg.Seed, cfg.Ticks)
-	rep := Report{ClearTick: cfg.Schedule.ClearTick()}
 	deadline := cfg.deadline()
 	rep.RecoveryWindow = cfg.RecoveryWindow
 	if rep.RecoveryWindow <= 0 {
@@ -352,5 +432,12 @@ func Run(cfg Config) (Report, error) {
 	rep.Audit = sys.Auditor().Stats(StreamID)
 	rep.LastViolation = rep.Audit.LastViolationTick
 	rep.Recovered = rep.LastViolation < rep.ClearTick+rep.RecoveryWindow
+	if mon != nil {
+		for _, s := range mon.Snapshot().SLOs {
+			if s.Severity != health.SevOK.String() {
+				rep.NeverCleared = append(rep.NeverCleared, s.Name)
+			}
+		}
+	}
 	return rep, nil
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -120,7 +121,7 @@ func TestRunsAreDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
 	}
 }

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"kalmanstream/internal/health"
+)
+
+// alertsFor filters a run's transition log to one objective.
+func alertsFor(rep Report, slo string) []health.Transition {
+	var out []health.Transition
+	for _, tr := range rep.Alerts {
+		if tr.SLO == slo {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TestBlackoutFiresStalenessPage drives a full uplink blackout through
+// the armed harness: the staleness objective must PAGE while the stream
+// is silent and resolve within the monitor's hysteresis horizon —
+// fast span (2 windows) + ResolveAfter (2 evals) = 4 windows — of heal.
+func TestBlackoutFiresStalenessPage(t *testing.T) {
+	rep, err := Run(Config{
+		Ticks: 3000,
+		Schedule: Schedule{
+			{Name: "uplink-blackout", From: 1000, Until: 1600, DropProb: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := alertsFor(rep, "staleness")
+	if len(stale) != 2 {
+		t.Fatalf("staleness transitions = %+v, want raise + resolve", stale)
+	}
+	raise, resolve := stale[0], stale[1]
+	if raise.To != health.SevPage {
+		t.Errorf("staleness raised to %s, want page", raise.To)
+	}
+	if raise.Tick < 1000 || raise.Tick >= 1600 {
+		t.Errorf("staleness paged at tick %d, want inside the blackout [1000,1600)", raise.Tick)
+	}
+	if resolve.To != health.SevOK {
+		t.Errorf("staleness resolved to %s, want ok", resolve.To)
+	}
+	// Heal at 1600; the monitor's clear horizon is 4 windows of 25 ticks,
+	// plus one window of detection slack.
+	if deadline := int64(1600 + 5*25); resolve.Tick > deadline {
+		t.Errorf("staleness cleared at tick %d, want <= %d", resolve.Tick, deadline)
+	}
+	if len(rep.NeverCleared) != 0 {
+		t.Errorf("objectives never cleared: %v", rep.NeverCleared)
+	}
+}
+
+// TestLossBurstFiresDeltaWarn drives sustained moderate loss: the
+// δ burn-rate objective must reach WARN — and, because the slow window
+// keeps the burst in perspective, must NOT page — then resolve.
+func TestLossBurstFiresDeltaWarn(t *testing.T) {
+	rep, err := Run(Config{
+		Ticks: 3000,
+		Schedule: Schedule{
+			{Name: "loss-burst", From: 500, Until: 1500, DropProb: 0.05},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := alertsFor(rep, "delta-burn")
+	if len(delta) == 0 {
+		t.Fatal("loss burst fired no delta-burn transitions")
+	}
+	worst := health.SevOK
+	for _, tr := range delta {
+		if tr.To > worst {
+			worst = tr.To
+		}
+	}
+	if worst != health.SevWarn {
+		t.Errorf("loss burst escalated to %s, want exactly warn", worst)
+	}
+	if last := delta[len(delta)-1]; last.To != health.SevOK {
+		t.Errorf("delta-burn ended at %s, want resolved to ok", last.To)
+	}
+	if len(rep.NeverCleared) != 0 {
+		t.Errorf("objectives never cleared: %v", rep.NeverCleared)
+	}
+}
+
+// TestLossFreeRunFiresNoAlerts is the false-positive gate: an armed
+// monitor on a clean run must fire nothing, and its classic summary
+// must be byte-identical to an unarmed control — monitoring is a pure
+// observer.
+func TestLossFreeRunFiresNoAlerts(t *testing.T) {
+	cfg := Config{Ticks: 3000}
+	armed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableHealth = true
+	control, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(armed.Alerts) != 0 {
+		t.Errorf("loss-free run fired alerts: %+v", armed.Alerts)
+	}
+	if len(armed.NeverCleared) != 0 {
+		t.Errorf("loss-free run left objectives non-OK: %v", armed.NeverCleared)
+	}
+	if a, c := armed.Summary(), control.Summary(); a != c {
+		t.Errorf("armed summary diverged from unarmed control:\narmed:\n%s\ncontrol:\n%s", a, c)
+	}
+	if got := armed.HealthSummary(); !strings.Contains(got, "0 alert transitions") {
+		t.Errorf("health summary = %q, want zero transitions", got)
+	}
+}
+
+// TestHealthSummaryRendersAlerts checks the artifact text the chaos
+// smoke job publishes.
+func TestHealthSummaryRendersAlerts(t *testing.T) {
+	rep := Report{
+		Alerts: []health.Transition{
+			{SLO: "staleness", From: health.SevOK, To: health.SevPage, Tick: 1050, BurnFast: 12, BurnSlow: 12},
+		},
+		NeverCleared: []string{"staleness"},
+	}
+	got := rep.HealthSummary()
+	for _, want := range []string{"1 alert transitions", "staleness", "ok -> page", "NEVER CLEARED: staleness"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("health summary missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"log/slog"
+	"testing"
+
+	"kalmanstream/internal/health"
+	"kalmanstream/internal/telemetry"
+)
+
+// TestAdvanceTicksHealthMonitor checks the clock wiring: a monitor
+// handed to SystemConfig advances one health tick per Advance, so its
+// rolling windows share the system clock.
+func TestAdvanceTicksHealthMonitor(t *testing.T) {
+	reg := telemetry.New()
+	mon := health.NewMonitor(health.Config{
+		WindowTicks: 5, Windows: 8, Registry: reg,
+		Logger: slog.New(slog.DiscardHandler),
+	})
+	sys, err := NewSystem(SystemConfig{Health: mon, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Attach(StreamConfig{ID: "a", Predictor: StaticCache(1), Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := mon.Snapshot()
+	if snap.Tick != 25 {
+		t.Errorf("monitor tick = %d after 25 Advances, want 25", snap.Tick)
+	}
+	if snap.WindowsClosed != 5 {
+		t.Errorf("monitor closed %d windows, want 5", snap.WindowsClosed)
+	}
+}

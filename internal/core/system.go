@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"kalmanstream/internal/health"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/query"
@@ -211,6 +212,11 @@ type SystemConfig struct {
 	// Telemetry receives the auditor's counters and histograms when
 	// Audit is set; nil means telemetry.Default.
 	Telemetry *telemetry.Registry
+	// Health, when non-nil, is ticked once per Advance: the monitor's
+	// rolling windows then share the system clock, which keeps chaos and
+	// test runs deterministic. Wall-clock deployments use
+	// health.Monitor.Start instead and leave this nil.
+	Health *health.Monitor
 }
 
 // System is a stream resource manager: the server-side replica cache plus
@@ -234,6 +240,7 @@ type System struct {
 
 	tr      *trace.Journal
 	auditor *trace.Auditor
+	health  *health.Monitor
 
 	workers    int
 	pool       *workerPool
@@ -263,6 +270,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		srv:     srv,
 		handles: make(map[string]*StreamHandle),
 		tr:      tr,
+		health:  cfg.Health,
 		workers: cfg.Workers,
 	}
 	if cfg.Audit {
@@ -426,6 +434,9 @@ func (s *System) Advance() error {
 		s.pool.run(s.linkTasks)
 	}
 	s.tick.Add(1)
+	if s.health != nil {
+		s.health.Tick()
+	}
 	return nil
 }
 

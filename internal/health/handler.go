@@ -1,0 +1,78 @@
+// HTTP surface: /healthz (liveness), /readyz (readiness gated on PAGE
+// alerts plus caller-supplied checks), and /debug/health (the full
+// JSON snapshot, with an optional per-stream section a dashboard can
+// diff between polls for rates).
+
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// StreamStat is one stream's cumulative counters in the /debug/health
+// payload. A poller derives rates by diffing consecutive snapshots.
+type StreamStat struct {
+	ID         string  `json:"id"`
+	Sent       int64   `json:"sent"`
+	Suppressed int64   `json:"suppressed"`
+	Delta      float64 `json:"delta"`
+	Stale      bool    `json:"stale,omitempty"`
+}
+
+// DebugPayload is the /debug/health response body.
+type DebugPayload struct {
+	Snapshot
+	Streams []StreamStat `json:"streams,omitempty"`
+}
+
+// LivenessHandler answers /healthz: the process is up and serving.
+// Liveness is deliberately dumb — a PAGE-ing server must stay alive to
+// be debugged; only readiness drops out of rotation.
+func LivenessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyHandler answers /readyz: 200 while no PAGE alert is active and
+// every extra check passes, 503 otherwise (with the reasons in the
+// body, one per line).
+func ReadyHandler(m *Monitor, checks ...func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var reasons []string
+		if m != nil && m.Severity() >= SevPage {
+			reasons = append(reasons, "PAGE alert active")
+		}
+		for _, c := range checks {
+			if err := c(); err != nil {
+				reasons = append(reasons, err.Error())
+			}
+		}
+		if len(reasons) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, reason := range reasons {
+				w.Write([]byte(reason + "\n"))
+			}
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+}
+
+// Handler answers /debug/health with the monitor snapshot as JSON.
+// streams, when non-nil, contributes the per-stream counter section.
+func Handler(m *Monitor, streams func() []StreamStat) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		payload := DebugPayload{Snapshot: m.Snapshot()}
+		if streams != nil {
+			payload.Streams = streams()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
+	})
+}

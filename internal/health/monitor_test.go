@@ -1,0 +1,473 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"kalmanstream/internal/telemetry"
+)
+
+// quiet returns a config that logs nowhere and records transitions.
+func quiet(cfg Config, sink *[]Transition) Config {
+	cfg.Logger = slog.New(slog.DiscardHandler)
+	if sink != nil {
+		cfg.OnTransition = func(tr Transition) { *sink = append(*sink, tr) }
+	}
+	return cfg
+}
+
+// TestCounterWindows checks the rolling ring: per-window deltas, rates,
+// and the EWMA.
+func TestCounterWindows(t *testing.T) {
+	reg := telemetry.New()
+	c := reg.Counter("events_total")
+	m := NewMonitor(quiet(Config{WindowTicks: 10, Windows: 4, Registry: reg}, nil))
+	if err := m.TrackCounter("events", c); err != nil {
+		t.Fatal(err)
+	}
+	deltas := []int64{100, 0, 50, 20, 30} // five windows; ring keeps 4
+	for _, d := range deltas {
+		c.Add(d)
+		for i := 0; i < 10; i++ {
+			m.Tick()
+		}
+	}
+	snap := m.Snapshot()
+	if snap.WindowsClosed != 5 || snap.Tick != 50 {
+		t.Fatalf("closed %d windows over %d ticks, want 5 over 50", snap.WindowsClosed, snap.Tick)
+	}
+	if len(snap.Series) != 1 || snap.Series[0].Name != "events" {
+		t.Fatalf("series = %+v", snap.Series)
+	}
+	got := snap.Series[0].Windows
+	want := []float64{0, 5, 2, 3} // rates per tick: deltas[1:]/10, oldest first
+	if len(got) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window %d rate = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if snap.Series[0].EWMA <= 0 {
+		t.Errorf("EWMA = %v, want > 0", snap.Series[0].EWMA)
+	}
+}
+
+// TestGaugeWindowMax checks that a gauge spike inside a window marks
+// that window even if the gauge recovers before the close.
+func TestGaugeWindowMax(t *testing.T) {
+	reg := telemetry.New()
+	g := reg.Gauge("stale")
+	m := NewMonitor(quiet(Config{WindowTicks: 5, Windows: 4, Registry: reg}, nil))
+	if err := m.TrackGauge("stale", g); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if i == 2 {
+			g.Set(3) // spike mid-window
+		}
+		if i == 3 {
+			g.Set(0) // recovered before close
+		}
+		m.Tick()
+	}
+	snap := m.Snapshot()
+	if got := snap.Series[0].Windows; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("gauge window = %v, want [3]", got)
+	}
+}
+
+// TestWindowedQuantiles checks histogram windowing: quantiles reflect
+// only the fast span, not all history.
+func TestWindowedQuantiles(t *testing.T) {
+	reg := telemetry.New()
+	h := reg.Histogram("lat", []float64{1, 2, 4, 8})
+	m := NewMonitor(quiet(Config{WindowTicks: 1, Windows: 8, FastWindows: 2, Registry: reg}, nil))
+	if err := m.TrackHistogram("lat", h); err != nil {
+		t.Fatal(err)
+	}
+	// Old window: slow observations. They must age out of the fast span.
+	for i := 0; i < 100; i++ {
+		h.Observe(7)
+	}
+	m.Tick()
+	m.Tick()
+	m.Tick() // two empty windows push the slow data out of the fast span
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	m.Tick()
+	snap := m.Snapshot()
+	var got SeriesSnapshot
+	for _, s := range snap.Series {
+		if s.Name == "lat" {
+			got = s
+		}
+	}
+	if got.P99 > 1 {
+		t.Errorf("windowed p99 = %v, want <= 1 (old slow data must have aged out)", got.P99)
+	}
+	if got.P50 <= 0 {
+		t.Errorf("windowed p50 = %v, want > 0", got.P50)
+	}
+}
+
+// TestBurnRateTable drives a deterministic violation schedule through a
+// ratio SLO and asserts the exact transition sequence — multi-window
+// gating (fast alone must not trip), escalation, and hysteresis
+// de-bounce on the way down.
+func TestBurnRateTable(t *testing.T) {
+	reg := telemetry.New()
+	bad := reg.Counter("bad_total")
+	total := reg.Counter("all_total")
+	var log []Transition
+	m := NewMonitor(quiet(Config{
+		WindowTicks: 1, Windows: 16, FastWindows: 2, SlowWindows: 4,
+		ResolveAfter: 2, Registry: reg,
+	}, &log))
+	if err := m.TrackCounter("bad", bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrackCounter("total", total); err != nil {
+		t.Fatal(err)
+	}
+	// budget 0.05 with warn 2 / page 10: WARN at a 10% bad ratio over
+	// both spans, PAGE at 50%.
+	if err := m.RatioSLO("bad-ratio", "bad", "total", 0.05, Thresholds{WarnBurn: 2, PageBurn: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Window schedule: bad events out of 100 per window.
+	schedule := []int64{0, 0, 0, 20, 20, 80, 100, 0, 0, 0, 0}
+	for _, b := range schedule {
+		bad.Add(b)
+		total.Add(100)
+		m.Tick()
+	}
+
+	type step struct {
+		window int64
+		from   Severity
+		to     Severity
+	}
+	// w4 (bad 20): fast burn 2 but slow burn 1 — multi-window gate holds.
+	// w5: fast 4, slow 2 → WARN. w7: fast 18, slow 11 → PAGE.
+	// w9, w10: want OK; hysteresis (ResolveAfter 2) resolves at w10.
+	want := []step{
+		{window: 5, from: SevOK, to: SevWarn},
+		{window: 7, from: SevWarn, to: SevPage},
+		{window: 10, from: SevPage, to: SevOK},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("got %d transitions %+v, want %d", len(log), log, len(want))
+	}
+	for i, w := range want {
+		tr := log[i]
+		if tr.Window != w.window || tr.From != w.from || tr.To != w.to {
+			t.Errorf("transition %d = %s→%s at window %d, want %s→%s at %d",
+				i, tr.From, tr.To, tr.Window, w.from, w.to, w.window)
+		}
+	}
+	if got := reg.Gauge("health_alerts_active").Value(); got != 0 {
+		t.Errorf("health_alerts_active = %v after resolve, want 0", got)
+	}
+}
+
+// TestGaugeSLOZeroBudget checks the streams_stale == 0 shape: any bad
+// window burns infinitely fast and pages immediately; recovery resolves
+// once the fast span is clean, damped by hysteresis.
+func TestGaugeSLOZeroBudget(t *testing.T) {
+	reg := telemetry.New()
+	g := reg.Gauge("stale")
+	var log []Transition
+	m := NewMonitor(quiet(Config{
+		WindowTicks: 1, Windows: 16, FastWindows: 2, SlowWindows: 8,
+		ResolveAfter: 2, Registry: reg,
+	}, &log))
+	if err := m.TrackGauge("stale", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.GaugeSLO("staleness", "stale", 0, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick()
+	m.Tick() // two clean windows
+	g.Set(2)
+	m.Tick() // bad window → PAGE immediately
+	if len(log) != 1 || log[0].To != SevPage {
+		t.Fatalf("transitions after staleness = %+v, want one OK→PAGE", log)
+	}
+	g.Set(0)
+	for i := 0; i < 4; i++ {
+		m.Tick() // fast span clean after 2, hysteresis resolves after 2 more
+	}
+	if len(log) != 2 || log[1].To != SevOK {
+		t.Fatalf("transitions after recovery = %+v, want PAGE→OK appended", log)
+	}
+	if resolved := log[1].Tick - log[0].Tick; resolved > 4 {
+		t.Errorf("resolve took %d ticks, want <= 4", resolved)
+	}
+}
+
+// TestLatencySLO checks the quantile objective: a latency regression
+// past the bound fires, staying under it does not.
+func TestLatencySLO(t *testing.T) {
+	reg := telemetry.New()
+	h := reg.Histogram("lat", []float64{0.001, 0.01, 0.1, 1})
+	var log []Transition
+	m := NewMonitor(quiet(Config{
+		WindowTicks: 1, Windows: 8, FastWindows: 2, SlowWindows: 4, Registry: reg,
+	}, &log))
+	if err := m.TrackHistogram("lat", h); err != nil {
+		t.Fatal(err)
+	}
+	// p99 < 10ms: budget 1%, so sustained 10%-slow traffic burns at 10x.
+	if err := m.LatencySLO("frame-p99", "lat", 0.99, 0.01, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 99; i++ {
+			h.Observe(0.0005)
+		}
+		h.Observe(0.05) // exactly 1% slow: burning at 1x budget, no alert
+		m.Tick()
+	}
+	if len(log) != 0 {
+		t.Fatalf("within-budget traffic fired %+v", log)
+	}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 85; i++ {
+			h.Observe(0.0005)
+		}
+		for i := 0; i < 15; i++ {
+			h.Observe(0.05) // 15% slow: burn 15 → PAGE
+		}
+		m.Tick()
+	}
+	if len(log) == 0 || log[len(log)-1].To != SevPage {
+		t.Fatalf("latency regression transitions = %+v, want PAGE", log)
+	}
+}
+
+// TestSLOValidation exercises declaration error paths.
+func TestSLOValidation(t *testing.T) {
+	reg := telemetry.New()
+	m := NewMonitor(quiet(Config{Registry: reg}, nil))
+	if err := m.RatioSLO("x", "nope", "nope", 0.1, Thresholds{}); err == nil {
+		t.Error("RatioSLO accepted untracked series")
+	}
+	if err := m.GaugeSLO("x", "nope", 0, Thresholds{}); err == nil {
+		t.Error("GaugeSLO accepted untracked series")
+	}
+	if err := m.LatencySLO("x", "nope", 0.99, 1, Thresholds{}); err == nil {
+		t.Error("LatencySLO accepted untracked series")
+	}
+	c := reg.Counter("c")
+	if err := m.TrackCounter("c", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrackCounter("c", c); err == nil {
+		t.Error("duplicate track accepted")
+	}
+	if err := m.RatioSLO("r", "c", "c", 0, Thresholds{}); err == nil {
+		t.Error("RatioSLO accepted zero budget")
+	}
+	if err := m.RatioSLO("r", "c", "c", 0.5, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RatioSLO("r", "c", "c", 0.5, Thresholds{}); err == nil {
+		t.Error("duplicate SLO accepted")
+	}
+	h := reg.Histogram("h", []float64{1, 2})
+	if err := m.TrackHistogram("h", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LatencySLO("lat", "h", 0.99, 100, Thresholds{}); err == nil {
+		t.Error("LatencySLO accepted a bound above every bucket")
+	}
+}
+
+// TestMonitorTickZeroAlloc pins the acceptance bound: the steady-state
+// no-alert tick path — including a window close and full SLO
+// evaluation every tick — performs zero allocations.
+func TestMonitorTickZeroAlloc(t *testing.T) {
+	reg := telemetry.New()
+	c := reg.Counter("good_total")
+	bad := reg.Counter("bad_total")
+	g := reg.Gauge("stale")
+	h := reg.Histogram("lat", telemetry.LatencyBuckets)
+	m := NewMonitor(quiet(Config{WindowTicks: 1, Windows: 32, Registry: reg}, nil))
+	for name, err := range map[string]error{
+		"total": m.TrackCounter("total", c),
+		"bad":   m.TrackCounter("bad", bad),
+		"stale": m.TrackGauge("stale", g),
+		"lat":   m.TrackHistogram("lat", h),
+	} {
+		if err != nil {
+			t.Fatalf("track %s: %v", name, err)
+		}
+	}
+	if err := m.RatioSLO("ratio", "bad", "total", 0.01, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.GaugeSLO("staleness", "stale", 0, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LatencySLO("latency", "lat", 0.99, 0.01, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Add(10)
+		h.Observe(0.0001)
+		m.Tick()
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Tick allocates %.2f per run, want 0", avg)
+	}
+}
+
+// TestConcurrentTickObserveSnapshot hammers window advance, telemetry
+// observation, and snapshotting from separate goroutines — the -race
+// coverage for the rolling-window engine.
+func TestConcurrentTickObserveSnapshot(t *testing.T) {
+	reg := telemetry.New()
+	c := reg.Counter("events")
+	g := reg.Gauge("level")
+	h := reg.Histogram("lat", telemetry.LatencyBuckets)
+	m := NewMonitor(quiet(Config{WindowTicks: 4, Windows: 8, Registry: reg}, nil))
+	if err := m.TrackCounter("events", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrackGauge("level", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrackHistogram("lat", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RatioSLO("ratio", "events", "events", 0.5, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 5000
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			c.Inc()
+			h.Observe(float64(i%100) * 1e-5)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			g.Set(float64(i % 7))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			m.Tick()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/50; i++ {
+			snap := m.Snapshot()
+			for _, s := range snap.Series {
+				for _, v := range s.Windows {
+					if math.IsNaN(v) {
+						t.Error("NaN in window series")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if got := m.Snapshot().WindowsClosed; got != iters/4 {
+		t.Errorf("closed %d windows, want %d", got, iters/4)
+	}
+}
+
+// TestHandlers exercises the HTTP surface: liveness always up,
+// readiness flipping on PAGE, and the JSON debug payload round-trip.
+func TestHandlers(t *testing.T) {
+	reg := telemetry.New()
+	g := reg.Gauge("stale")
+	m := NewMonitor(quiet(Config{WindowTicks: 1, Windows: 8, FastWindows: 1, SlowWindows: 2, Registry: reg}, nil))
+	if err := m.TrackGauge("stale", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.GaugeSLO("staleness", "stale", 0, Thresholds{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	LivenessHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("/healthz = %d, want 200", rec.Code)
+	}
+
+	ready := ReadyHandler(m, func() error { return nil })
+	rec = httptest.NewRecorder()
+	ready.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Errorf("/readyz healthy = %d, want 200", rec.Code)
+	}
+
+	g.Set(1)
+	m.Tick() // staleness pages
+	rec = httptest.NewRecorder()
+	ready.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Errorf("/readyz paging = %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	failing := ReadyHandler(nil, func() error { return fmt.Errorf("replaying registrations") })
+	failing.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Errorf("/readyz failing check = %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(m, func() []StreamStat {
+		return []StreamStat{{ID: "s1", Sent: 10, Suppressed: 90, Delta: 0.5, Stale: true}}
+	}).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/health = %d, want 200", rec.Code)
+	}
+	var payload DebugPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("decode /debug/health: %v\n%s", err, rec.Body.String())
+	}
+	if payload.Severity != "page" || len(payload.Streams) != 1 || payload.Streams[0].ID != "s1" {
+		t.Errorf("payload = severity %q, streams %+v", payload.Severity, payload.Streams)
+	}
+	if len(payload.Transitions) == 0 || payload.Transitions[0].ToName != "page" {
+		t.Errorf("transitions = %+v, want OK→page", payload.Transitions)
+	}
+}
+
+// TestStartStopWallClock smoke-tests the wall-clock driver.
+func TestStartStopWallClock(t *testing.T) {
+	m := NewMonitor(quiet(Config{Registry: telemetry.New()}, nil))
+	m.Start(time.Millisecond)
+	defer m.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Snapshot().Tick > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("wall-clock driver never ticked")
+}

@@ -1,0 +1,184 @@
+// The SLO evaluator: objectives over tracked windows, multi-window
+// burn rates, and the alert state machine.
+//
+// Every objective reduces to an error budget: a ratio of bad events to
+// total events the service is allowed to spend (Olston et al. frame
+// precision the same way — δ is a budget the gate spends by staying
+// silent). The burn rate is how fast the budget is being consumed:
+// burn = (observed bad ratio) / (budgeted bad ratio), so burn 1 means
+// "spending exactly the budget" and burn 10 means "ten times too fast".
+//
+// Alerting is Google-SRE multi-window: a severity trips only when BOTH
+// a fast window (reacts in minutes/ticks) and a slow window (confirms
+// it is not a blip) exceed the threshold; it resolves only after the
+// fast burn has stayed below the threshold for ResolveAfter consecutive
+// evaluations (hysteresis, so a flapping signal cannot page-storm).
+
+package health
+
+import "math"
+
+// Severity is an alert level. Ordering is meaningful: higher is worse.
+type Severity uint8
+
+// Alert severities.
+const (
+	SevOK Severity = iota
+	SevWarn
+	SevPage
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevOK:
+		return "ok"
+	case SevWarn:
+		return "warn"
+	case SevPage:
+		return "page"
+	default:
+		return "unknown"
+	}
+}
+
+// Thresholds sets one objective's burn-rate trip points. Zero fields
+// take the defaults (warn at 2× budget, page at 10×).
+type Thresholds struct {
+	// WarnBurn trips WARN when both window burn rates reach it.
+	WarnBurn float64
+	// PageBurn trips PAGE when both window burn rates reach it.
+	PageBurn float64
+}
+
+// Default burn-rate trip points.
+const (
+	DefaultWarnBurn = 2.0
+	DefaultPageBurn = 10.0
+)
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.WarnBurn <= 0 {
+		t.WarnBurn = DefaultWarnBurn
+	}
+	if t.PageBurn <= 0 {
+		t.PageBurn = DefaultPageBurn
+	}
+	return t
+}
+
+// Transition is one alert state change, emitted through the monitor's
+// logger, the health_alerts_active gauge, and the OnTransition hook.
+type Transition struct {
+	// SLO names the objective that changed state.
+	SLO string `json:"slo"`
+	// From and To are the severities before and after.
+	From Severity `json:"-"`
+	To   Severity `json:"-"`
+	// FromName and ToName render the severities for JSON consumers.
+	FromName string `json:"from"`
+	ToName   string `json:"to"`
+	// Tick is the monitor tick at which the transition fired.
+	Tick int64 `json:"tick"`
+	// Window is the closed-window sequence number.
+	Window int64 `json:"window"`
+	// BurnFast and BurnSlow are the burn rates that drove the decision.
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+}
+
+// sloKind discriminates objective flavors.
+type sloKind uint8
+
+const (
+	sloRatio sloKind = iota + 1
+	sloGauge
+	sloLatency
+)
+
+func (k sloKind) String() string {
+	switch k {
+	case sloRatio:
+		return "ratio"
+	case sloGauge:
+		return "gauge"
+	case sloLatency:
+		return "latency"
+	default:
+		return "unknown"
+	}
+}
+
+// sloState is one declared objective plus its alert state.
+type sloState struct {
+	name   string
+	kind   sloKind
+	budget float64 // allowed bad/total ratio; 0 means "any bad event trips"
+	th     Thresholds
+
+	// Sources, by kind.
+	bad, total *counterTrack // sloRatio
+	g          *gaugeTrack   // sloGauge
+	gaugeMax   float64       // sloGauge: window max above this is a bad window
+	h          *histTrack    // sloLatency
+	quantile   float64       // sloLatency: the promised percentile (e.g. 0.99)
+	bound      float64       // sloLatency: the promised latency at that percentile
+	goodBucket int           // sloLatency: last bucket index still within bound
+
+	// Alert state.
+	sev        Severity
+	cleanEvals int
+	sinceTick  int64 // tick the current non-OK state began (0 when OK)
+	burnFast   float64
+	burnSlow   float64
+}
+
+// badTotal accumulates the objective's bad and total event counts over
+// the given closed-window slot.
+func (s *sloState) badTotal(slot int) (bad, total float64) {
+	switch s.kind {
+	case sloRatio:
+		return s.bad.ring[slot], s.total.ring[slot]
+	case sloGauge:
+		if s.g.ring[slot] > s.gaugeMax {
+			return 1, 1
+		}
+		return 0, 1
+	case sloLatency:
+		w := s.h.window(slot)
+		var t, b int64
+		for i, c := range w {
+			t += c
+			if i > s.goodBucket {
+				b += c
+			}
+		}
+		return float64(b), float64(t)
+	}
+	return 0, 0
+}
+
+// burnRate turns a bad/total observation into budget-relative burn.
+// No events means no spend; a zero budget means any bad event is an
+// infinite burn (the streams_stale == 0 style of objective).
+func burnRate(bad, total, budget float64) float64 {
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	ratio := bad / total
+	if budget <= 0 {
+		return math.Inf(1)
+	}
+	return ratio / budget
+}
+
+// wanted maps the two burn rates to the severity they call for.
+func (s *sloState) wanted(burnFast, burnSlow float64) Severity {
+	want := SevOK
+	if burnFast >= s.th.WarnBurn && burnSlow >= s.th.WarnBurn {
+		want = SevWarn
+	}
+	if burnFast >= s.th.PageBurn && burnSlow >= s.th.PageBurn {
+		want = SevPage
+	}
+	return want
+}

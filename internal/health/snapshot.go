@@ -1,0 +1,164 @@
+// Point-in-time JSON views of the monitor: the /debug/health payload
+// and the structures `streamkf top` decodes. Snapshots allocate freely
+// — they run per HTTP request, not per tick.
+
+package health
+
+import "math"
+
+// SeriesSnapshot is one tracked series' windowed history, oldest first.
+type SeriesSnapshot struct {
+	Name string `json:"name"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string `json:"kind"`
+	// Windows holds per-window aggregates oldest→newest: counter
+	// per-tick rates, gauge maxima, histogram observation counts.
+	Windows []float64 `json:"windows,omitempty"`
+	// EWMA smooths the counter rate (counters only).
+	EWMA float64 `json:"ewma,omitempty"`
+	// P50/P95/P99 are windowed quantiles over the fast span
+	// (histograms only).
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// SLOSnapshot is one objective's current verdict.
+type SLOSnapshot struct {
+	Name string `json:"name"`
+	// Kind is "ratio", "gauge", or "latency".
+	Kind string `json:"kind"`
+	// Severity is "ok", "warn", or "page".
+	Severity string `json:"severity"`
+	// Budget is the allowed bad/total ratio (0 for gauge objectives).
+	Budget float64 `json:"budget"`
+	// BurnFast and BurnSlow are the latest burn rates (+Inf is rendered
+	// as a large sentinel so the payload stays valid JSON).
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+	// SinceTick is the tick the current non-OK state began (0 when OK).
+	SinceTick int64 `json:"since_tick,omitempty"`
+	// Windows holds the per-window bad ratio oldest→newest — the
+	// δ-violation sparkline `streamkf top` renders.
+	Windows []float64 `json:"windows,omitempty"`
+}
+
+// Snapshot is the monitor's full JSON view.
+type Snapshot struct {
+	Tick          int64            `json:"tick"`
+	WindowsClosed int64            `json:"windows_closed"`
+	WindowTicks   int              `json:"window_ticks"`
+	ActiveAlerts  int              `json:"active_alerts"`
+	Severity      string           `json:"severity"`
+	Series        []SeriesSnapshot `json:"series"`
+	SLOs          []SLOSnapshot    `json:"slos"`
+	Transitions   []Transition     `json:"transitions,omitempty"`
+}
+
+// jsonBurn clamps +Inf burn rates to a large finite sentinel:
+// encoding/json rejects infinities, and any consumer treats 1e9 and
+// +Inf identically (far past every threshold).
+func jsonBurn(v float64) float64 {
+	if math.IsInf(v, 1) || v > 1e9 {
+		return 1e9
+	}
+	return v
+}
+
+// Snapshot captures the monitor state: every tracked series' window
+// history, every SLO's burn rates and severity, and the recent
+// transition log (oldest first).
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	n := int(m.closed)
+	if n > m.cfg.Windows {
+		n = m.cfg.Windows
+	}
+	w := m.cfg.Windows
+	// slots lists the last n closed windows oldest→newest.
+	slots := make([]int, n)
+	for j := 0; j < n; j++ {
+		slots[j] = (m.head - (n - 1 - j) + w*2) % w
+	}
+	fastSlots := slots
+	if f := m.span(m.cfg.FastWindows); f < n {
+		fastSlots = slots[n-f:]
+	}
+
+	snap := Snapshot{
+		Tick:          m.tick,
+		WindowsClosed: m.closed,
+		WindowTicks:   m.cfg.WindowTicks,
+	}
+	for _, t := range m.counters {
+		s := SeriesSnapshot{Name: t.name, Kind: "counter", EWMA: t.ewma, Windows: make([]float64, n)}
+		for j, slot := range slots {
+			s.Windows[j] = t.ring[slot] / float64(m.cfg.WindowTicks)
+		}
+		snap.Series = append(snap.Series, s)
+	}
+	for _, t := range m.gauges {
+		s := SeriesSnapshot{Name: t.name, Kind: "gauge", Windows: make([]float64, n)}
+		for j, slot := range slots {
+			s.Windows[j] = t.ring[slot]
+		}
+		snap.Series = append(snap.Series, s)
+	}
+	for _, t := range m.hists {
+		s := SeriesSnapshot{Name: t.name, Kind: "histogram", Windows: make([]float64, n)}
+		for j, slot := range slots {
+			var c int64
+			for _, v := range t.window(slot) {
+				c += v
+			}
+			s.Windows[j] = float64(c)
+		}
+		scratch := make([]int64, t.nb)
+		s.P50 = t.quantileOver(fastSlots, 0.50, scratch)
+		s.P95 = t.quantileOver(fastSlots, 0.95, scratch)
+		s.P99 = t.quantileOver(fastSlots, 0.99, scratch)
+		snap.Series = append(snap.Series, s)
+	}
+	worst := SevOK
+	for _, s := range m.slos {
+		ss := SLOSnapshot{
+			Name:      s.name,
+			Kind:      s.kind.String(),
+			Severity:  s.sev.String(),
+			Budget:    s.budget,
+			BurnFast:  jsonBurn(s.burnFast),
+			BurnSlow:  jsonBurn(s.burnSlow),
+			SinceTick: s.sinceTick,
+			Windows:   make([]float64, n),
+		}
+		for j, slot := range slots {
+			bad, total := s.badTotal(slot)
+			if total > 0 {
+				ss.Windows[j] = bad / total
+			}
+		}
+		if s.sev > SevOK {
+			snap.ActiveAlerts++
+		}
+		if s.sev > worst {
+			worst = s.sev
+		}
+		snap.SLOs = append(snap.SLOs, ss)
+	}
+	snap.Severity = worst.String()
+
+	// Transition log, oldest first.
+	if c := int64(len(m.transitions)); c > 0 {
+		start := m.transCount - c
+		snap.Transitions = make([]Transition, 0, c)
+		for i := int64(0); i < c; i++ {
+			tr := m.transitions[(start+i)%int64(cap(m.transitions))]
+			tr.BurnFast = jsonBurn(tr.BurnFast)
+			tr.BurnSlow = jsonBurn(tr.BurnSlow)
+			snap.Transitions = append(snap.Transitions, tr)
+		}
+	}
+	return snap
+}

@@ -31,6 +31,13 @@ type Filter struct {
 	gain   *mat.Matrix // K, n×m
 	innov  []float64
 	hx     []float64
+	sMM    *mat.Matrix // S = H·P·Hᵀ + R
+	sInv   *mat.Matrix // S⁻¹
+	sWork  *mat.Matrix // InverseTo elimination scratch
+	ikh    *mat.Matrix // I − K·H
+	leftNN *mat.Matrix // (I−KH)·P·(I−KH)ᵀ
+	krkNN  *mat.Matrix // K·R·Kᵀ
+	ky     []float64   // K·y
 
 	ticks   uint64 // Predict calls since construction
 	updates uint64 // Update calls since construction
@@ -65,6 +72,13 @@ func NewFilter(model *Model, x0 []float64, p0 *mat.Matrix) (*Filter, error) {
 		gain:   mat.New(n, m),
 		innov:  make([]float64, m),
 		hx:     make([]float64, m),
+		sMM:    mat.New(m, m),
+		sInv:   mat.New(m, m),
+		sWork:  mat.New(m, m),
+		ikh:    mat.New(n, n),
+		leftNN: mat.New(n, n),
+		krkNN:  mat.New(n, n),
+		ky:     make([]float64, n),
 	}
 	return f, nil
 }
@@ -118,29 +132,33 @@ func (f *Filter) Update(z []float64) error {
 		f.innov[i] = z[i] - f.hx[i]
 	}
 	// S = H·P·Hᵀ + R.
-	mat.MulTo(f.tmpMN, f.model.H, f.p) // H·P
-	mat.MulTo(f.tmpMM, f.tmpMN, f.ht)  // H·P·Hᵀ
-	s := mat.Add(f.tmpMM, f.model.R)
-	sInv, err := mat.Inverse(s)
-	if err != nil {
+	mat.MulTo(f.tmpMN, f.model.H, f.p)   // H·P
+	mat.MulTo(f.tmpMM, f.tmpMN, f.ht)    // H·P·Hᵀ
+	mat.AddTo(f.sMM, f.tmpMM, f.model.R) // + R
+	if err := mat.InverseTo(f.sInv, f.sWork, f.sMM); err != nil {
 		return fmt.Errorf("kalman: innovation covariance singular: %w", err)
 	}
 	// K = P·Hᵀ·S⁻¹.
 	mat.MulTo(f.tmpNM, f.p, f.ht)
-	mat.MulTo(f.gain, f.tmpNM, sInv)
+	mat.MulTo(f.gain, f.tmpNM, f.sInv)
 	// x ← x + K·y.
-	ky := mat.MulVec(f.gain, f.innov)
+	mat.MulVecTo(f.ky, f.gain, f.innov)
 	for i := range f.x {
-		f.x[i] += ky[i]
+		f.x[i] += f.ky[i]
 	}
-	// Joseph form: P ← (I−KH)·P·(I−KH)ᵀ + K·R·Kᵀ.
-	n := f.model.StateDim()
-	ikh := mat.Identity(n)
-	kh := mat.Mul(f.gain, f.model.H)
-	mat.SubTo(ikh, ikh, kh)
-	left := mat.Mul3(ikh, f.p, mat.Transpose(ikh))
-	krk := mat.Mul3(f.gain, f.model.R, mat.Transpose(f.gain))
-	mat.AddTo(f.p, left, krk)
+	// Joseph form: P ← (I−KH)·P·(I−KH)ᵀ + K·R·Kᵀ, built entirely in
+	// scratch: K·H lands in tmpNN, (I−KH)ᵀ reuses tmpNN afterwards, and
+	// the transposed gain borrows tmpMN (both free by this point).
+	f.ikh.SetIdentity()
+	mat.MulTo(f.tmpNN, f.gain, f.model.H) // K·H
+	mat.SubTo(f.ikh, f.ikh, f.tmpNN)      // I − K·H
+	mat.MulTo(f.tmpNN2, f.ikh, f.p)       // (I−KH)·P
+	mat.TransposeTo(f.tmpNN, f.ikh)       // (I−KH)ᵀ
+	mat.MulTo(f.leftNN, f.tmpNN2, f.tmpNN)
+	mat.MulTo(f.tmpNM, f.gain, f.model.R) // K·R
+	mat.TransposeTo(f.tmpMN, f.gain)      // Kᵀ
+	mat.MulTo(f.krkNN, f.tmpNM, f.tmpMN)
+	mat.AddTo(f.p, f.leftNN, f.krkNN)
 	mat.Symmetrize(f.p)
 	f.updates++
 	return nil

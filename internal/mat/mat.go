@@ -117,6 +117,17 @@ func (m *Matrix) Zero() {
 	}
 }
 
+// SetIdentity overwrites the square matrix m with the identity.
+func (m *Matrix) SetIdentity() {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: SetIdentity on non-square %d×%d matrix", m.rows, m.cols))
+	}
+	m.Zero()
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
 // Raw returns the backing slice in row-major order. Mutating it mutates
 // the matrix; callers that need isolation should Clone first.
 func (m *Matrix) Raw() []float64 { return m.data }
@@ -300,9 +311,32 @@ func Inverse(a *Matrix) (*Matrix, error) {
 		panic(fmt.Sprintf("mat: Inverse of non-square %d×%d matrix", a.rows, a.cols))
 	}
 	n := a.rows
+	inv, work := New(n, n), New(n, n)
+	if err := InverseTo(inv, work, a); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InverseTo stores a⁻¹ into dst using work as scratch (both must be
+// square with a's dimensions and must not alias a or each other). The
+// allocation-free form of Inverse for preallocated hot paths. On a
+// singular a, dst and work are left in an unspecified state.
+func InverseTo(dst, work, a *Matrix) error {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Inverse of non-square %d×%d matrix", a.rows, a.cols))
+	}
+	n := a.rows
+	if dst.rows != n || dst.cols != n || work.rows != n || work.cols != n {
+		panic(fmt.Sprintf("mat: InverseTo dst/work must be %d×%d", n, n))
+	}
+	if sameBacking(dst, a) || sameBacking(work, a) || sameBacking(dst, work) {
+		panic("mat: InverseTo destination aliases an operand")
+	}
 	// Augment [a | I] and reduce.
-	work := a.Clone()
-	inv := Identity(n)
+	work.CopyFrom(a)
+	dst.SetIdentity()
+	inv := dst
 	for col := 0; col < n; col++ {
 		// Partial pivot: find the largest |value| in this column at or
 		// below the diagonal.
@@ -314,7 +348,7 @@ func Inverse(a *Matrix) (*Matrix, error) {
 			}
 		}
 		if maxAbs < 1e-14 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if pivot != col {
 			swapRows(work, pivot, col)
@@ -335,7 +369,7 @@ func Inverse(a *Matrix) (*Matrix, error) {
 			axpyRow(inv, r, col, -f)
 		}
 	}
-	return inv, nil
+	return nil
 }
 
 func swapRows(m *Matrix, i, j int) {

@@ -73,11 +73,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-// histVars is the JSON shape of a histogram in WriteVars output.
+// histVars is the JSON shape of a histogram in WriteVars output. The
+// quantiles come from Sample.Quantile — the same fixed-bucket linear
+// interpolation every other consumer (tables, /debug/health) uses, so
+// the percentile math agrees across expositions.
 type histVars struct {
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
 	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets"`
 }
 
@@ -93,7 +99,9 @@ func (r *Registry) WriteVars(w io.Writer) error {
 			for _, bk := range s.Buckets {
 				buckets[formatValue(bk.UpperBound)] = bk.Count
 			}
-			out[key] = histVars{Count: s.Count, Sum: s.Sum, Mean: s.Mean(), Buckets: buckets}
+			out[key] = histVars{Count: s.Count, Sum: s.Sum, Mean: s.Mean(),
+				P50: s.Quantile(0.5), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+				Buckets: buckets}
 		default:
 			out[key] = s.Value
 		}

@@ -133,6 +133,32 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// NumBuckets returns the number of buckets including the implicit +Inf
+// bucket — the length ReadBuckets needs.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Bounds returns a copy of the sorted upper bounds (the +Inf bucket is
+// implicit after the last).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// ReadBuckets fills dst with the raw (non-cumulative) per-bucket counts
+// and returns it. dst must have length NumBuckets; the call performs no
+// allocation, which is what lets a rolling-window sampler diff bucket
+// counts on every tick.
+func (h *Histogram) ReadBuckets(dst []int64) []int64 {
+	if len(dst) != len(h.buckets) {
+		panic(fmt.Sprintf("telemetry: ReadBuckets dst length %d, want %d", len(dst), len(h.buckets)))
+	}
+	for i := range h.buckets {
+		dst[i] = h.buckets[i].Load()
+	}
+	return dst
+}
+
 // Bucket is one histogram bucket in a snapshot.
 type Bucket struct {
 	// UpperBound is the inclusive upper bound (+Inf for the last bucket).

@@ -93,6 +93,37 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramBucketReaders(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []float64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(15)
+	h.Observe(99) // lands in the implicit +Inf bucket
+
+	if got := h.NumBuckets(); got != 3 {
+		t.Fatalf("NumBuckets = %d, want 3 (two bounds + Inf)", got)
+	}
+	bounds := h.Bounds()
+	if len(bounds) != 2 || bounds[0] != 10 || bounds[1] != 20 {
+		t.Fatalf("Bounds = %v, want the explicit bounds [10 20] (+Inf implicit)", bounds)
+	}
+	dst := make([]int64, h.NumBuckets())
+	got := h.ReadBuckets(dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("ReadBuckets did not fill the caller's slice")
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("ReadBuckets = %v, want non-cumulative [1 2 1]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length dst did not panic")
+		}
+	}()
+	h.ReadBuckets(make([]int64, 1))
+}
+
 func TestKindMismatchPanics(t *testing.T) {
 	r := New()
 	r.Counter("x")
@@ -176,6 +207,11 @@ func TestWriteVars(t *testing.T) {
 	}
 	if !strings.Contains(out, `"count": 1`) || !strings.Contains(out, `"mean": 0.5`) {
 		t.Fatalf("vars missing histogram summary:\n%s", out)
+	}
+	for _, q := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("vars missing %s quantile:\n%s", q, out)
+		}
 	}
 }
 

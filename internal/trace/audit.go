@@ -66,6 +66,13 @@ type Auditor struct {
 	streams map[string]*auditStream
 	reg     *telemetry.Registry
 	journal *Journal
+
+	// Cross-stream aggregates, maintained inline by Check so a health
+	// monitor can read system-wide totals with a single atomic load
+	// instead of locking and summing per-stream state.
+	totalTicks      atomic.Int64
+	totalSuppressed atomic.Int64
+	totalViolations atomic.Int64
 }
 
 // NewAuditor returns an auditor exporting per-stream series
@@ -111,6 +118,7 @@ func (a *Auditor) stream(id string) *auditStream {
 func (a *Auditor) Check(streamID string, tick int64, deviation, bound float64, suppressed bool) {
 	st := a.stream(streamID)
 	st.ticks.Add(1)
+	a.totalTicks.Add(1)
 	st.telTicks.Inc()
 	if bound > 0 {
 		st.telRatio.Observe(deviation / bound)
@@ -119,6 +127,7 @@ func (a *Auditor) Check(streamID string, tick int64, deviation, bound float64, s
 		return
 	}
 	st.suppressed.Add(1)
+	a.totalSuppressed.Add(1)
 	if ratio := ratioOf(deviation, bound); ratio > 0 {
 		for {
 			old := st.maxRatioBits.Load()
@@ -132,6 +141,7 @@ func (a *Auditor) Check(streamID string, tick int64, deviation, bound float64, s
 	}
 	if deviation > bound {
 		st.violations.Add(1)
+		a.totalViolations.Add(1)
 		st.telViolations.Inc()
 		// CAS-max on tick+1 so the zero value still means "no violation"
 		// for streams whose first violation is tick 0.
@@ -223,3 +233,14 @@ func (a *Auditor) Violations() int64 {
 	}
 	return n
 }
+
+// TotalTicks returns the number of audited ticks across all streams —
+// a lock-free aggregate suitable as a health-monitor rate source.
+func (a *Auditor) TotalTicks() int64 { return a.totalTicks.Load() }
+
+// TotalSuppressed returns the suppressed-tick count across all streams.
+func (a *Auditor) TotalSuppressed() int64 { return a.totalSuppressed.Load() }
+
+// TotalViolations returns the δ-violation count across all streams,
+// identical to Violations() but without taking the auditor lock.
+func (a *Auditor) TotalViolations() int64 { return a.totalViolations.Load() }

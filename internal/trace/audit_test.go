@@ -33,6 +33,16 @@ func TestAuditorCountsAndViolations(t *testing.T) {
 	if got := a.Violations(); got != 1 {
 		t.Fatalf("Violations() = %d, want 1", got)
 	}
+	// The cross-stream totals feed the health monitor's SLO tracks.
+	if got := a.TotalTicks(); got != 4 {
+		t.Fatalf("TotalTicks() = %d, want 4", got)
+	}
+	if got := a.TotalSuppressed(); got != 3 {
+		t.Fatalf("TotalSuppressed() = %d, want 3", got)
+	}
+	if got := a.TotalViolations(); got != 1 {
+		t.Fatalf("TotalViolations() = %d, want 1", got)
+	}
 
 	// The violation must surface in telemetry and the journal.
 	if got := reg.Counter("audit_delta_violations_total", "stream", "s").Value(); got != 1 {

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"log/slog"
+	"testing"
+
+	"kalmanstream/internal/health"
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/telemetry"
+)
+
+// TestFrameHandleHistogram checks that each inbound frame kind lands in
+// its own wire_frame_handle_seconds series.
+func TestFrameHandleHistogram(t *testing.T) {
+	reg := telemetry.New()
+	srv := NewServerWith(Options{Metrics: reg, Logger: slog.New(slog.DiscardHandler)})
+	defer srv.StopWatchdog()
+	if err := srv.Register(RegisterPayload{ID: "s", Spec: cvSpec(), Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var msg netsim.Message
+	cw := &connWriter{conn: nil, s: srv}
+	m := netsim.Message{Kind: netsim.KindCorrection, StreamID: "s", Tick: 0, Value: []float64{1}}
+	payload, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.dispatch(cw, FrameMessage, payload, &msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.dispatch(cw, FrameMessage, payload, &msg); err != nil {
+		t.Fatal(err) // duplicate tick: dropped, still timed
+	}
+
+	want := map[string]int64{`{kind="message"}`: 2}
+	for _, s := range reg.Snapshot() {
+		if s.Name != "wire_frame_handle_seconds" {
+			continue
+		}
+		if s.Count != want[s.Labels] {
+			t.Errorf("series %q observed %d frames, want %d", s.Labels, s.Count, want[s.Labels])
+		}
+		delete(want, s.Labels)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing frame-kind series: %v", want)
+	}
+}
+
+// TestMessageDispatchZeroAlloc pins the pooled fast path: a steady
+// stream of corrections through dispatch — decode, dedupe check,
+// replica advance, apply, per-kind latency observation — allocates
+// nothing once warm.
+func TestMessageDispatchZeroAlloc(t *testing.T) {
+	reg := telemetry.New()
+	srv := NewServerWith(Options{Metrics: reg, Logger: slog.New(slog.DiscardHandler)})
+	defer srv.StopWatchdog()
+	if err := srv.Register(RegisterPayload{ID: "s", Spec: cvSpec(), Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var msg netsim.Message
+	cw := &connWriter{conn: nil, s: srv}
+	m := netsim.Message{Kind: netsim.KindCorrection, StreamID: "s", Value: []float64{1}}
+	buf := make([]byte, 0, m.EncodedSize())
+	tick := int64(0)
+	// Warm the path: first apply grows predictor state.
+	for ; tick < 8; tick++ {
+		m.Tick = tick
+		buf = buf[:0]
+		buf, _ = m.AppendEncode(buf)
+		if err := srv.dispatch(cw, FrameMessage, buf, &msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		m.Tick = tick
+		tick++
+		buf = buf[:0]
+		buf, _ = m.AppendEncode(buf)
+		if err := srv.dispatch(cw, FrameMessage, buf, &msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("correction dispatch allocates %.2f per frame, want 0", avg)
+	}
+}
+
+// TestConfigureHealth checks the default SLO wiring: clean traffic
+// stays OK, and a stale stream pages through the streams-stale
+// objective.
+func TestConfigureHealth(t *testing.T) {
+	reg := telemetry.New()
+	mon := health.NewMonitor(health.Config{
+		WindowTicks: 1, Windows: 16, FastWindows: 2, SlowWindows: 4,
+		ResolveAfter: 2, Registry: reg, Logger: slog.New(slog.DiscardHandler),
+	})
+	srv := NewServerWith(Options{Metrics: reg, Logger: slog.New(slog.DiscardHandler), Health: mon})
+	defer srv.StopWatchdog()
+	if srv.Health() != mon {
+		t.Fatal("Health() does not return the configured monitor")
+	}
+	if err := srv.Register(RegisterPayload{ID: "s", Spec: cvSpec(), Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean traffic: corrections arrive, nothing pages.
+	var msg netsim.Message
+	cw := &connWriter{conn: nil, s: srv}
+	for tick := int64(0); tick < 8; tick++ {
+		m := netsim.Message{Kind: netsim.KindCorrection, StreamID: "s", Tick: tick, Value: []float64{1}}
+		payload, _ := m.Encode()
+		if err := srv.dispatch(cw, FrameMessage, payload, &msg); err != nil {
+			t.Fatal(err)
+		}
+		mon.Tick()
+	}
+	snap := mon.Snapshot()
+	if snap.Severity != "ok" || snap.ActiveAlerts != 0 {
+		t.Fatalf("clean traffic severity = %q (%d active), want ok", snap.Severity, snap.ActiveAlerts)
+	}
+	names := map[string]bool{}
+	for _, s := range snap.SLOs {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"audit-error-ratio", "streams-stale", "frame-p99"} {
+		if !names[want] {
+			t.Errorf("SLO %q not declared (have %v)", want, names)
+		}
+	}
+
+	// A stale stream (watchdog sets the gauge) pages within a window.
+	reg.Gauge("streams_stale").Set(1)
+	mon.Tick()
+	if sev := mon.Severity(); sev != health.SevPage {
+		t.Errorf("stale stream severity = %v, want page", sev)
+	}
+
+	stats := srv.HealthStreams()
+	if len(stats) != 1 || stats[0].ID != "s" || stats[0].Sent == 0 || stats[0].Delta != 1 {
+		t.Errorf("HealthStreams = %+v", stats)
+	}
+}

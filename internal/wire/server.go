@@ -9,10 +9,12 @@ import (
 	"log/slog"
 	"net"
 	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kalmanstream/internal/health"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/server"
@@ -123,6 +125,13 @@ type Server struct {
 	telStale       *telemetry.Gauge
 	telStaleTotal  *telemetry.Counter
 	telResyncReqs  *telemetry.Counter
+	// telFrame holds the per-kind handler latency histogram, indexed by
+	// frame type so the read loop observes without a registry lookup or
+	// label allocation. Only client→server kinds are populated; the rest
+	// stay nil and the loop skips them.
+	telFrame [FrameResyncRequest + 1]*telemetry.Histogram
+
+	monitor *health.Monitor
 }
 
 // Options configures a wire server beyond the defaults.
@@ -143,6 +152,11 @@ type Options struct {
 	// networked source drives its own clock, so a silent stream's tick
 	// counter does not advance and tick staleness cannot be observed.
 	StaleAfter time.Duration
+	// Health, when non-nil, receives the server's default SLOs (δ audit
+	// error ratio, staleness, frame-handle p99) via ConfigureHealth. The
+	// caller owns the monitor's clock: tick it from a System, or call
+	// Start for wall-clock windows.
+	Health *health.Monitor
 }
 
 // NewServer returns an empty wire server instrumented against
@@ -185,6 +199,11 @@ func NewServerWith(opts Options) *Server {
 		telStaleTotal:  reg.Counter("watchdog_stale_total"),
 		telResyncReqs:  reg.Counter("watchdog_resync_requests_total"),
 	}
+	for _, typ := range []uint8{FrameRegister, FrameMessage, FrameQuery, FrameMetrics, FrameTrace} {
+		s.telFrame[typ] = reg.Histogram("wire_frame_handle_seconds",
+			telemetry.LatencyBuckets, "kind", FrameName(typ))
+	}
+	reg.Help("wire_frame_handle_seconds", "inbound frame handling latency by frame kind")
 	reg.Help("corrections_sent_total", "corrections applied per stream")
 	reg.Help("corrections_suppressed_total", "replica ticks advanced without a correction, per stream")
 	reg.Help("wire_bytes_total", "bytes on the wire by direction")
@@ -194,7 +213,92 @@ func NewServerWith(opts Options) *Server {
 	if s.staleAfter > 0 {
 		s.StartWatchdog()
 	}
+	if opts.Health != nil {
+		if err := s.ConfigureHealth(opts.Health); err != nil {
+			// Only reachable when the monitor already tracks one of the
+			// server's series names — a programming error, not a runtime
+			// condition.
+			panic(fmt.Sprintf("wire: health wiring failed: %v", err))
+		}
+	}
 	return s
+}
+
+// Default SLO parameters wired by ConfigureHealth: the audit error
+// budget (fraction of audited ticks allowed to violate δ), and the
+// frame-handle latency objective (p99 under 10ms — generous for an
+// in-memory apply, tight enough to catch lock contention or a
+// scheduling collapse).
+const (
+	DefaultAuditErrorBudget = 0.01
+	DefaultFrameP99Bound    = 1e-2
+)
+
+// ConfigureHealth points a monitor at the server's own signals and
+// declares the default objectives from the SLO layer:
+//
+//   - audit-error-ratio: δ violations per audited tick stay under
+//     DefaultAuditErrorBudget (burn-rate alerting on the precision
+//     promise itself);
+//   - streams-stale: no stream sits past the watchdog deadline
+//     (zero-budget, so any stale window pages);
+//   - frame-p99: correction-frame handling p99 under
+//     DefaultFrameP99Bound seconds.
+//
+// The monitor's clock is the caller's: tick it per system tick or call
+// Start for wall-clock windows.
+func (s *Server) ConfigureHealth(m *health.Monitor) error {
+	if err := m.TrackCounterFunc("audit_ticks", s.auditor.TotalTicks); err != nil {
+		return err
+	}
+	if err := m.TrackCounterFunc("audit_delta_violations", s.auditor.TotalViolations); err != nil {
+		return err
+	}
+	if err := m.TrackGauge("streams_stale", s.telStale); err != nil {
+		return err
+	}
+	if err := m.TrackHistogram("wire_frame_handle_seconds", s.telFrame[FrameMessage]); err != nil {
+		return err
+	}
+	if err := m.RatioSLO("audit-error-ratio", "audit_delta_violations", "audit_ticks",
+		DefaultAuditErrorBudget, health.Thresholds{}); err != nil {
+		return err
+	}
+	if err := m.GaugeSLO("streams-stale", "streams_stale", 0, health.Thresholds{}); err != nil {
+		return err
+	}
+	if err := m.LatencySLO("frame-p99", "wire_frame_handle_seconds", 0.99,
+		DefaultFrameP99Bound, health.Thresholds{}); err != nil {
+		return err
+	}
+	s.monitor = m
+	return nil
+}
+
+// Health returns the monitor wired by ConfigureHealth (nil when health
+// is off).
+func (s *Server) Health() *health.Monitor { return s.monitor }
+
+// HealthStreams snapshots every registered stream's cumulative counters
+// for the /debug/health payload.
+func (s *Server) HealthStreams() []health.StreamStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]health.StreamStat, 0, len(s.streams))
+	for id, tel := range s.streams {
+		st := health.StreamStat{
+			ID:         id,
+			Sent:       tel.sent.Value(),
+			Suppressed: tel.suppressed.Value(),
+			Delta:      s.specs[id].Delta,
+		}
+		if h := s.health[id]; h != nil {
+			st.Stale = h.stale
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // StartWatchdog launches the wall-clock staleness scanner (idempotent;
@@ -566,7 +670,24 @@ func (s *Server) releaseConn(cw *connWriter) {
 	}
 }
 
+// dispatch routes one inbound frame, timing the handler into the
+// per-kind wire_frame_handle_seconds series. Unknown kinds have no
+// series (nil slot) and are not timed.
 func (s *Server) dispatch(cw *connWriter, typ uint8, payload []byte, msg *netsim.Message) error {
+	var h *telemetry.Histogram
+	if int(typ) < len(s.telFrame) {
+		h = s.telFrame[typ]
+	}
+	if h == nil {
+		return s.route(cw, typ, payload, msg)
+	}
+	start := time.Now()
+	err := s.route(cw, typ, payload, msg)
+	h.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) route(cw *connWriter, typ uint8, payload []byte, msg *netsim.Message) error {
 	switch typ {
 	case FrameRegister:
 		var p RegisterPayload
