@@ -9,11 +9,11 @@ GO ?= go
 # that `make bench-compare` gates against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASE ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR5.json
 # The regression gate: benchmarks matching this pattern may not regress
 # ns/op by more than BENCH_MAXREGRESS percent against BENCH_BASE.
-BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot
+BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve
 BENCH_MAXREGRESS ?= 10
 
 .PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke
@@ -41,12 +41,13 @@ lint: vet
 
 # chaos-smoke runs the deterministic fault-injection scenario (loss
 # burst, partition+heal, uplink blackout) and fails unless the protocol
-# re-converges within the recovery window AND every SLO alert the run
-# raised has cleared by the end. The classic summary lands in
-# chaos_summary.txt and the alert log in health_summary.txt; CI uploads
-# both as artifacts.
+# re-converges within the recovery window, every SLO alert the run
+# raised has cleared by the end, AND every page produced a matching
+# incident bundle. The classic summary lands in chaos_summary.txt, the
+# alert log in health_summary.txt, and the incident bundles in
+# chaos_bundles/; CI uploads all three as artifacts.
 chaos-smoke:
-	$(GO) run ./cmd/streamkf chaos -out chaos_summary.txt -health-out health_summary.txt
+	$(GO) run ./cmd/streamkf chaos -out chaos_summary.txt -health-out health_summary.txt -bundle-dir chaos_bundles
 
 build:
 	$(GO) build ./...

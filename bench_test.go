@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"kalmanstream/internal/core"
+	"kalmanstream/internal/diag"
 	"kalmanstream/internal/harness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/kalman"
@@ -245,6 +246,24 @@ func BenchmarkWindowSnapshot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = mon.Snapshot()
+	}
+}
+
+// BenchmarkTopKObserve prices the flight recorder's hot-path feed: a
+// TryObserve on a resident stream ID (TryLock, map hit, in-place heap
+// sift) — the cost every dispatched correction pays when diagnostics
+// are armed. Must stay at 0 allocs/op.
+func BenchmarkTopKObserve(b *testing.B) {
+	tk := diag.NewTopK(128)
+	ids := make([]string, 128)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("stream-%03d", i)
+		tk.Observe(ids[i], 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.TryObserve(ids[i&127], 1)
 	}
 }
 

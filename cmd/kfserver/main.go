@@ -23,10 +23,20 @@
 // full JSON snapshot (per-SLO burn rates, window series, active
 // alerts, per-stream counters) that `streamkf top` renders live.
 //
+// Forensics: the flight recorder (internal/diag) runs whenever -http is
+// set. It keeps top-k per-stream attribution sketches (corrections,
+// bytes, δ-violations, staleness events) fed allocation-free from the
+// hot paths, and freezes an incident bundle — alert, health snapshot,
+// offender tables, trace tail, recent logs, runtime profile deltas —
+// the moment any SLO pages. Bundles are browsable at /debug/bundle
+// (fetch with `streamkf bundle`), the live offender tables at
+// /debug/top, and two-sample allocation deltas at /debug/pprof/delta.
+// With -bundle-dir, bundles also spool to disk as JSON files.
+//
 // Usage:
 //
 //	kfserver [-addr :9653] [-http :9654] [-trace] [-logjson]
-//	         [-stale-after 5s] [-health-interval 1s]
+//	         [-stale-after 5s] [-health-interval 1s] [-bundle-dir dir]
 //
 // -stale-after arms the staleness watchdog: a registered stream with no
 // traffic for that long is marked stale (streams_stale gauge) and its
@@ -43,6 +53,7 @@ import (
 	"os"
 	"time"
 
+	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
@@ -56,6 +67,7 @@ func main() {
 	traceCap := flag.Int("trace-buf", trace.DefaultCapacity, "trace ring capacity per shard (newest events win)")
 	staleAfter := flag.Duration("stale-after", 0, "mark a stream stale and push resync requests after this much silence (0 = watchdog off)")
 	healthInterval := flag.Duration("health-interval", time.Second, "SLO monitor tick interval; one rolling window closes per tick (0 = monitor off)")
+	bundleDir := flag.String("bundle-dir", "", "spool incident bundles to this directory (empty = memory-only ring)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -63,7 +75,10 @@ func main() {
 	if *logJSON {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
-	logger := slog.New(handler).With("component", "kfserver")
+	// The ring handler tees every record to stderr while keeping the
+	// most recent ones in memory for incident bundles.
+	ring := diag.NewRingHandler(512, handler)
+	logger := slog.New(ring).With("component", "kfserver")
 	slog.SetDefault(logger)
 
 	l, err := net.Listen("tcp", *addr)
@@ -73,6 +88,16 @@ func main() {
 	}
 	journal := trace.NewJournal(trace.DefaultShards, *traceCap)
 	journal.SetEnabled(*traceOn)
+
+	// The flight recorder attributes hot-path events (corrections,
+	// δ-violations, staleness) to streams and freezes incident bundles
+	// whenever an SLO pages.
+	rec := diag.NewRecorder(diag.Options{
+		SpoolDir: *bundleDir,
+		Registry: telemetry.Default,
+		Journal:  journal,
+		Logs:     ring,
+	})
 
 	// The SLO monitor only makes sense with somewhere to serve its
 	// verdicts, so it rides the -http flag. Wall-clock windows: one per
@@ -88,7 +113,9 @@ func main() {
 			ResolveAfter: 2,
 			Registry:     telemetry.Default,
 			Logger:       logger.With("component", "health"),
+			OnTransition: rec.OnTransition,
 		})
+		rec.AttachHealth(mon)
 	}
 	srv := wire.NewServerWith(wire.Options{
 		Logger:     logger,
@@ -96,6 +123,7 @@ func main() {
 		Trace:      journal,
 		StaleAfter: *staleAfter,
 		Health:     mon,
+		Diag:       rec,
 	})
 	defer srv.StopWatchdog()
 	if mon != nil {
@@ -142,6 +170,11 @@ func serveHTTP(addr string, srv *wire.Server, logger *slog.Logger) {
 		mux.Handle("/readyz", health.ReadyHandler(mon))
 		mux.Handle("/debug/health", health.Handler(mon, srv.HealthStreams))
 	}
+	if rec := srv.Diag(); rec != nil {
+		mux.Handle("/debug/bundle", diag.BundleHandler(rec))
+		mux.Handle("/debug/top", diag.TopHandler(rec))
+	}
+	mux.Handle("/debug/pprof/delta", diag.DeltaHandler())
 	// net/http/pprof only self-registers on http.DefaultServeMux; mount
 	// its handlers on ours explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -27,6 +27,8 @@ func cmdChaos(args []string) error {
 	out := fs.String("out", "", "also write the summary to this file")
 	healthOut := fs.String("health-out", "", "also write the SLO monitor's alert log to this file")
 	noHealth := fs.Bool("no-health", false, "disarm the SLO monitor (the unarmed control arm)")
+	bundleDir := fs.String("bundle-dir", "", "spool incident bundles captured during the run to this directory")
+	noDiag := fs.Bool("no-diag", false, "disarm the flight recorder (no bundles, no attribution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +54,8 @@ func cmdChaos(args []string) error {
 		RecoveryWindow:   *window,
 		Schedule:         sched,
 		DisableHealth:    *noHealth,
+		DisableDiag:      *noDiag,
+		BundleDir:        *bundleDir,
 	})
 	if err != nil {
 		return err
@@ -78,12 +82,20 @@ func cmdChaos(args []string) error {
 			}
 		}
 	}
+	if !*noDiag {
+		fmt.Print(rep.BundleSummary())
+	}
 	if !rep.Recovered {
 		return fmt.Errorf("chaos: precision not restored within %d ticks of the last fault clearing at %d (last violation tick %d)",
 			rep.RecoveryWindow, rep.ClearTick, rep.LastViolation)
 	}
 	if len(rep.NeverCleared) > 0 {
 		return fmt.Errorf("chaos: alerts never cleared: %s", strings.Join(rep.NeverCleared, ", "))
+	}
+	// Every page must be explained by a bundle: a page without forensic
+	// evidence is itself an observability failure CI should catch.
+	if rep.UnbundledPages > 0 {
+		return fmt.Errorf("chaos: %d page(s) fired without a matching incident bundle", rep.UnbundledPages)
 	}
 	return nil
 }

@@ -46,6 +46,8 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
+	case "bundle":
+		err = cmdBundle(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -83,20 +85,27 @@ commands:
   selfcheck [-seed S]               verify the protocol invariants (hard
                                     bound, replica lock-step, composition)
                                     on this machine's floating point
-  chaos [-ticks N] [-seed S] [-schedule SPEC] [-out FILE]
+  chaos [-ticks N] [-seed S] [-schedule SPEC] [-out FILE] [-bundle-dir DIR]
                                     drive a deterministic fault schedule
                                     (loss, delay, reorder, duplicate,
                                     partition) through the pipeline and
                                     verify bounded-staleness recovery;
                                     exits nonzero when precision is not
-                                    restored within the window or an SLO
-                                    alert never clears
+                                    restored within the window, an SLO
+                                    alert never clears, or a page fires
+                                    without a matching incident bundle
   top [-http H:P] [-interval D] [-n N]
                                     live ANSI dashboard over a kfserver's
                                     /debug/health: per-SLO burn rates with
                                     window sparklines, per-stream send and
-                                    suppress rates, stale flags, and the
-                                    recent alert log
+                                    suppress rates, stale flags, the recent
+                                    alert log, and the flight recorder's
+                                    top-offender tables
+  bundle [-http H:P] [-id ID] [-json]
+                                    list a kfserver's incident bundles, or
+                                    fetch one by ID and render the forensic
+                                    report (alert, health snapshot, top-k
+                                    offenders, logs, runtime profile delta)
 trace kinds: random-walk, linear-drift, sine, ou, regime, network, gbm, waypoint2d
 replay methods: cache, dead-reckoning, ewma, kalman-rw, kalman-cv, kalman-bank, all
 `)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
 )
 
@@ -26,6 +27,7 @@ func cmdTop(args []string) error {
 		return err
 	}
 	url := fmt.Sprintf("http://%s/debug/health", *httpAddr)
+	topURL := fmt.Sprintf("http://%s/debug/top?n=8", *httpAddr)
 	client := &http.Client{Timeout: *interval}
 
 	var prev *health.DebugPayload
@@ -38,6 +40,9 @@ func cmdTop(args []string) error {
 		if err != nil {
 			return fmt.Errorf("top: %w (is kfserver running with -http %s?)", err, *httpAddr)
 		}
+		// The offender tables are best-effort: an older server without
+		// the flight recorder simply has no pane.
+		offenders := fetchOffenders(client, topURL)
 		now := time.Now()
 		elapsed := 0.0
 		if prev != nil {
@@ -46,9 +51,67 @@ func cmdTop(args []string) error {
 		// Clear screen, home cursor: plain ANSI, no TUI dependency.
 		fmt.Print("\x1b[2J\x1b[H")
 		fmt.Print(renderTop(prev, cur, elapsed))
+		if offenders != nil {
+			fmt.Print(renderOffenders(offenders))
+		}
 		prev, prevAt = cur, now
 	}
 	return nil
+}
+
+// fetchOffenders polls the flight recorder's /debug/top tables. Any
+// failure (404 on an older server, timeout) returns nil: the pane is
+// optional.
+func fetchOffenders(client *http.Client, url string) *diag.TopPayload {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var payload diag.TopPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil
+	}
+	return &payload
+}
+
+// renderOffenders formats the flight recorder's top-k attribution
+// tables as one compact pane: for each sketch, the worst streams with
+// their counts (and ± error bound once eviction has begun).
+func renderOffenders(top *diag.TopPayload) string {
+	order := []string{diag.SketchCorrections, diag.SketchBytes, diag.SketchViolations, diag.SketchStale}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\ntop offenders (k=%d", top.K)
+	if top.Dropped > 0 {
+		fmt.Fprintf(&b, ", %d events dropped", top.Dropped)
+	}
+	b.WriteString("):\n")
+	any := false
+	for _, name := range order {
+		items := top.Sketches[name]
+		if len(items) == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(&b, "  %-12s", name)
+		for i, it := range items {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s=%d", it.ID, it.Count)
+			if it.Err > 0 {
+				fmt.Fprintf(&b, "±%d", it.Err)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if !any {
+		b.WriteString("  (no events attributed yet)\n")
+	}
+	return b.String()
 }
 
 func fetchHealth(client *http.Client, url string) (*health.DebugPayload, error) {

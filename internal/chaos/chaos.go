@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"kalmanstream/internal/core"
+	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/stream"
 	"kalmanstream/internal/telemetry"
@@ -43,6 +44,11 @@ type Fault struct {
 	// FeedbackDropProb impairs the server→source feedback channel, so
 	// watchdog resync requests themselves get lost.
 	FeedbackDropProb float64
+	// Streams limits the fault to the named streams (all when empty) —
+	// a partial blackout impairs a subset while the rest stay healthy,
+	// which is what lets the harness assert that incident bundles
+	// attribute the fault to the right streams.
+	Streams []string
 }
 
 func (f Fault) String() string {
@@ -68,7 +74,23 @@ func (f Fault) String() string {
 	if len(parts) == 0 {
 		parts = append(parts, "clean")
 	}
+	if len(f.Streams) > 0 {
+		parts = append(parts, "on "+strings.Join(f.Streams, ","))
+	}
 	return fmt.Sprintf("%s [%d,%d): %s", f.Name, f.From, f.Until, strings.Join(parts, ", "))
+}
+
+// appliesTo reports whether the fault impairs the given stream.
+func (f Fault) appliesTo(id string) bool {
+	if len(f.Streams) == 0 {
+		return true
+	}
+	for _, s := range f.Streams {
+		if s == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Schedule is an ordered fault plan.
@@ -114,12 +136,13 @@ type linkSettings struct {
 	fbDrop  float64
 }
 
-// at composes the active faults for a tick, later entries overriding
-// earlier ones field by field.
-func (s Schedule) at(tick int64) linkSettings {
+// at composes the active faults for one stream at one tick, later
+// entries overriding earlier ones field by field. Faults naming other
+// streams are skipped.
+func (s Schedule) at(tick int64, streamID string) linkSettings {
 	var ls linkSettings
 	for _, f := range s {
-		if tick < f.From || tick >= f.Until {
+		if tick < f.From || tick >= f.Until || !f.appliesTo(streamID) {
 			continue
 		}
 		if f.DropProb > 0 {
@@ -183,6 +206,18 @@ type Config struct {
 	// the burn-rate SLO (default 0.02: a sustained 4% violation ratio
 	// burns at 2× and warns, 20% burns at 10× and pages).
 	DeltaBudget float64
+	// Streams is the number of concurrently attached streams (default
+	// 1 — the classic single-stream run). Streams are named "chaos-1"
+	// through "chaos-N", each with its own generator and link seeds, so
+	// faults can impair a subset via Fault.Streams.
+	Streams int
+	// DisableDiag turns the flight recorder off — the unarmed control
+	// arm for asserting that diagnostics are a pure observer (armed and
+	// unarmed loss-free runs must produce byte-identical summaries).
+	DisableDiag bool
+	// BundleDir, when set, spools captured incident bundles to disk
+	// (the chaos-smoke CI artifact).
+	BundleDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -205,6 +240,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeltaBudget <= 0 {
 		c.DeltaBudget = 0.02
+	}
+	if c.Streams <= 0 {
+		c.Streams = 1
 	}
 	return c
 }
@@ -254,6 +292,14 @@ type Report struct {
 	// NeverCleared lists objectives still non-OK when the run ended — a
 	// fault whose alert never resolved.
 	NeverCleared []string
+	// Bundles holds the flight recorder's incident captures, oldest
+	// first (empty when diag was disabled or nothing paged).
+	Bundles []diag.Bundle
+	// UnbundledPages counts page transitions not covered by any
+	// captured bundle's dedupe window — always zero unless bundle
+	// capture itself is broken, which is exactly what chaos-smoke
+	// gates on.
+	UnbundledPages int
 }
 
 // Summary renders the report as the plain-text block the chaos smoke
@@ -294,8 +340,39 @@ func (r Report) HealthSummary() string {
 	return b.String()
 }
 
+// BundleSummary renders the flight recorder's view of the run: each
+// captured bundle with its top stale-stream attribution, plus the
+// page-coverage verdict chaos-smoke gates on. Kept separate from
+// Summary and HealthSummary so both stay byte-identical whether or not
+// the recorder is armed.
+func (r Report) BundleSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bundles: %d captured, %d pages without a bundle\n",
+		len(r.Bundles), r.UnbundledPages)
+	for _, bd := range r.Bundles {
+		fmt.Fprintf(&b, "  %s (%s)\n", bd.ID, bd.Reason)
+		if stale := bd.TopK[diag.SketchStale]; len(stale) > 0 {
+			var rows []string
+			for _, it := range stale {
+				rows = append(rows, fmt.Sprintf("%s=%d", it.ID, it.Count))
+			}
+			fmt.Fprintf(&b, "    stale offenders: %s\n", strings.Join(rows, ", "))
+		}
+	}
+	return b.String()
+}
+
 // StreamID is the stream a chaos run attaches.
 const StreamID = "chaos-1"
+
+// streamIDs names the n attached streams: "chaos-1" .. "chaos-N".
+func streamIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("chaos-%d", i+1)
+	}
+	return ids
+}
 
 // Run executes one fault schedule and reports whether the recovery loop
 // restored precision within the bounded-staleness window.
@@ -310,6 +387,18 @@ func Run(cfg Config) (Report, error) {
 	}
 	reg := telemetry.New()
 	rep := Report{ClearTick: cfg.Schedule.ClearTick()}
+	var rec *diag.Recorder
+	if !cfg.DisableDiag {
+		// The flight recorder rides every run by default: it is asserted
+		// to be a pure observer (TestLossFreeDiagRunByteIdentical), so
+		// arming it cannot change a verdict — only explain one.
+		rec = diag.NewRecorder(diag.Options{
+			K:        64,
+			SpoolDir: cfg.BundleDir,
+			Registry: reg,
+			Journal:  tr,
+		})
+	}
 	var mon *health.Monitor
 	if !cfg.DisableHealth {
 		// Tick-driven windows one heartbeat wide: the fast span reacts
@@ -325,42 +414,61 @@ func Run(cfg Config) (Report, error) {
 			ResolveAfter: 2,
 			Registry:     reg,
 			Logger:       slog.New(slog.DiscardHandler),
-			OnTransition: func(t health.Transition) { rep.Alerts = append(rep.Alerts, t) },
+			OnTransition: func(t health.Transition) {
+				rep.Alerts = append(rep.Alerts, t)
+				rec.OnTransition(t) // nil-safe; captures a bundle on page
+			},
 		})
+		if rec != nil {
+			rec.AttachHealth(mon)
+		}
 	}
 	sys, err := core.NewSystem(core.SystemConfig{
 		Trace:     tr,
 		Audit:     true,
 		Telemetry: reg,
 		Health:    mon,
+		Diag:      rec,
 	})
 	if err != nil {
 		return Report{}, err
 	}
-	h, err := sys.Attach(core.StreamConfig{
-		ID:               StreamID,
-		Predictor:        core.KalmanConstantVelocity(0.01, 0.04),
-		Delta:            cfg.Delta,
-		HeartbeatEvery:   cfg.HeartbeatEvery,
-		ResyncEvery:      cfg.ResyncEvery,
-		WatchdogDeadline: cfg.WatchdogDeadline,
-		LinkSeed:         cfg.Seed,
-		FeedbackSeed:     cfg.Seed + 1,
-	})
-	if err != nil {
-		return Report{}, err
+	ids := streamIDs(cfg.Streams)
+	handles := make([]*core.StreamHandle, len(ids))
+	gens := make([]stream.Stream, len(ids))
+	for i, id := range ids {
+		// Seeds are laid out so stream 1 reproduces the classic
+		// single-stream run exactly: link Seed+2i, feedback Seed+2i+1,
+		// and a prime generator stride so sibling streams decorrelate.
+		handles[i], err = sys.Attach(core.StreamConfig{
+			ID:               id,
+			Predictor:        core.KalmanConstantVelocity(0.01, 0.04),
+			Delta:            cfg.Delta,
+			HeartbeatEvery:   cfg.HeartbeatEvery,
+			ResyncEvery:      cfg.ResyncEvery,
+			WatchdogDeadline: cfg.WatchdogDeadline,
+			LinkSeed:         cfg.Seed + 2*int64(i),
+			FeedbackSeed:     cfg.Seed + 2*int64(i) + 1,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		gens[i] = cfg.NewStream(cfg.Seed+7919*int64(i), cfg.Ticks)
 	}
 
 	if mon != nil {
-		// The staleness objective has a zero budget — any window with the
+		// The staleness objective has a zero budget — any window with a
 		// stream stale pages. The δ objective burns against DeltaBudget.
 		auditor := sys.Auditor()
 		for _, err := range []error{
 			mon.TrackGaugeFunc("stale", func() float64 {
-				if h.Stale() {
-					return 1
+				n := 0.0
+				for _, h := range handles {
+					if h.Stale() {
+						n++
+					}
 				}
-				return 0
+				return n
 			}),
 			mon.TrackCounterFunc("audit_ticks", auditor.TotalTicks),
 			mon.TrackCounterFunc("audit_delta_violations", auditor.TotalViolations),
@@ -374,7 +482,6 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 
-	gen := cfg.NewStream(cfg.Seed, cfg.Ticks)
 	deadline := cfg.deadline()
 	rep.RecoveryWindow = cfg.RecoveryWindow
 	if rep.RecoveryWindow <= 0 {
@@ -385,51 +492,76 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 
-	link, fb := h.Link(), h.FeedbackLink()
-	var cur linkSettings
-	wasStale := false
+	cur := make([]linkSettings, len(ids))
+	wasStale := make([]bool, len(ids))
+run:
 	for tick := int64(0); tick < cfg.Ticks; tick++ {
-		if ls := cfg.Schedule.at(tick); ls != cur {
-			cur = ls
-			link.SetDropProb(ls.drop)
-			link.SetDelayTicks(ls.delay)
-			link.SetDuplicateProb(ls.dup)
-			link.SetReorderProb(ls.reorder)
-			link.SetDown(ls.down)
-			if fb != nil {
-				fb.SetDropProb(ls.fbDrop)
-				fb.SetDown(ls.down)
+		for i, h := range handles {
+			if ls := cfg.Schedule.at(tick, ids[i]); ls != cur[i] {
+				cur[i] = ls
+				link, fb := h.Link(), h.FeedbackLink()
+				link.SetDropProb(ls.drop)
+				link.SetDelayTicks(ls.delay)
+				link.SetDuplicateProb(ls.dup)
+				link.SetReorderProb(ls.reorder)
+				link.SetDown(ls.down)
+				if fb != nil {
+					fb.SetDropProb(ls.fbDrop)
+					fb.SetDown(ls.down)
+				}
 			}
 		}
 		if err := sys.Advance(); err != nil {
 			return rep, err
 		}
-		p, ok := gen.Next()
-		if !ok {
-			break
-		}
-		if _, err := h.Observe(p.Value); err != nil {
-			return rep, err
+		for i, h := range handles {
+			p, ok := gens[i].Next()
+			if !ok {
+				break run
+			}
+			if _, err := h.Observe(p.Value); err != nil {
+				return rep, err
+			}
+			if stale := h.Stale(); stale != wasStale[i] {
+				if stale {
+					rep.StaleEpisodes++
+				}
+				wasStale[i] = stale
+			}
 		}
 		rep.Ticks++
-		if stale := h.Stale(); stale != wasStale {
-			if stale {
-				rep.StaleEpisodes++
-			}
-			wasStale = stale
-		}
 	}
 
-	st := h.Stats()
-	rep.Messages = st.Sent
-	rep.Heartbeats = st.Heartbeats
-	rep.Resyncs = st.Resyncs
-	rep.ResyncRequests = st.ResyncRequests
-	rep.ForcedResyncs = st.ForcedResyncs
-	rep.Bytes = h.LinkStats().Bytes
-	rep.Dropped = h.LinkStats().Dropped
-	rep.FeedbackDropped = h.FeedbackStats().Dropped
-	rep.Audit = sys.Auditor().Stats(StreamID)
+	for _, h := range handles {
+		st := h.Stats()
+		rep.Messages += st.Sent
+		rep.Heartbeats += st.Heartbeats
+		rep.Resyncs += st.Resyncs
+		rep.ResyncRequests += st.ResyncRequests
+		rep.ForcedResyncs += st.ForcedResyncs
+		rep.Bytes += h.LinkStats().Bytes
+		rep.Dropped += h.LinkStats().Dropped
+		rep.FeedbackDropped += h.FeedbackStats().Dropped
+	}
+	if len(ids) == 1 {
+		rep.Audit = sys.Auditor().Stats(StreamID)
+	} else {
+		// Aggregate the auditor's verdict across streams; the recovery
+		// check cares about the worst stream, so max the per-stream
+		// last-violation ticks and ratios.
+		rep.Audit = trace.AuditStats{StreamID: "aggregate", LastViolationTick: -1}
+		for _, st := range sys.Auditor().All() {
+			rep.Audit.Ticks += st.Ticks
+			rep.Audit.Suppressed += st.Suppressed
+			rep.Audit.Violations += st.Violations
+			if st.MaxRatio > rep.Audit.MaxRatio {
+				rep.Audit.MaxRatio = st.MaxRatio
+			}
+			if st.LastViolationTick > rep.Audit.LastViolationTick {
+				rep.Audit.LastViolationTick = st.LastViolationTick
+			}
+		}
+	}
 	rep.LastViolation = rep.Audit.LastViolationTick
 	rep.Recovered = rep.LastViolation < rep.ClearTick+rep.RecoveryWindow
 	if mon != nil {
@@ -439,5 +571,37 @@ func Run(cfg Config) (Report, error) {
 			}
 		}
 	}
+	if rec != nil {
+		if !rep.Recovered {
+			// A failed verdict is an incident even if no SLO paged:
+			// freeze the evidence unconditionally.
+			rec.CaptureNow(fmt.Sprintf("chaos-verdict: not recovered (last violation tick %d)", rep.LastViolation))
+		}
+		rep.Bundles = rec.Bundles()
+		rep.UnbundledPages = unbundledPages(rep.Alerts, rep.Bundles, rec.DedupeWindow())
+	}
 	return rep, nil
+}
+
+// unbundledPages counts page transitions not explained by any bundle:
+// a page is covered when a captured bundle's firing alert is at most
+// the dedupe window before it (the capture that opened its incident).
+func unbundledPages(alerts []health.Transition, bundles []diag.Bundle, window int64) int {
+	n := 0
+	for _, t := range alerts {
+		if t.To != health.SevPage {
+			continue
+		}
+		covered := false
+		for _, b := range bundles {
+			if b.Alert != nil && t.Tick >= b.Alert.Tick && t.Tick-b.Alert.Tick < window {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			n++
+		}
+	}
+	return n
 }

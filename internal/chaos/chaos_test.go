@@ -121,6 +121,20 @@ func TestRunsAreDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Bundles embed wall-clock capture times and runtime profiles, which
+	// are inherently non-reproducible; the protocol-level attribution
+	// inside them must still match.
+	if len(a.Bundles) != len(b.Bundles) {
+		t.Fatalf("bundle counts diverged: %d vs %d", len(a.Bundles), len(b.Bundles))
+	}
+	for i := range a.Bundles {
+		if a.Bundles[i].Reason != b.Bundles[i].Reason ||
+			!reflect.DeepEqual(a.Bundles[i].TopK, b.Bundles[i].TopK) ||
+			!reflect.DeepEqual(a.Bundles[i].Alert, b.Bundles[i].Alert) {
+			t.Errorf("bundle %d diverged:\n%+v\n%+v", i, a.Bundles[i], b.Bundles[i])
+		}
+	}
+	a.Bundles, b.Bundles = nil, nil
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
 	}

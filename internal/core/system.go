@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
@@ -217,6 +218,13 @@ type SystemConfig struct {
 	// test runs deterministic. Wall-clock deployments use
 	// health.Monitor.Start instead and leave this nil.
 	Health *health.Monitor
+	// Diag, when non-nil, arms the flight recorder's attribution feeds:
+	// applied corrections (with encoded bytes), δ violations from the
+	// auditor, and staleness marks from the watchdog are attributed
+	// per stream into its top-k sketches. All feeds are non-blocking
+	// and allocation-free, so an armed recorder leaves the tick
+	// pipeline's performance and results untouched.
+	Diag *diag.Recorder
 }
 
 // System is a stream resource manager: the server-side replica cache plus
@@ -241,6 +249,7 @@ type System struct {
 	tr      *trace.Journal
 	auditor *trace.Auditor
 	health  *health.Monitor
+	diag    *diag.Recorder
 
 	workers    int
 	pool       *workerPool
@@ -275,6 +284,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	if cfg.Audit {
 		s.auditor = trace.NewAuditor(cfg.Telemetry, tr)
+	}
+	if cfg.Diag != nil {
+		s.diag = cfg.Diag
+		srv.SetStaleHook(s.diag.ObserveStale)
+		if s.auditor != nil {
+			d := s.diag
+			s.auditor.SetViolationHook(func(id string, _ int64) { d.ObserveViolation(id) })
+		}
 	}
 	if s.workers < 1 {
 		s.workers = 1
@@ -331,6 +348,9 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		// protocol bug, surfaced on the next Observe.
 		if err := s.srv.Apply(m); err != nil {
 			panic(fmt.Sprintf("core: replica apply failed: %v", err))
+		}
+		if s.diag != nil && m.Kind == netsim.KindCorrection {
+			s.diag.ObserveCorrection(m.StreamID, m.EncodedSize())
 		}
 	}, netsim.LinkConfig{
 		DelayTicks: cfg.LinkDelayTicks,
@@ -661,6 +681,10 @@ func (s *System) Info(id string) (server.StreamInfo, error) { return s.srv.Info(
 // Auditor returns the online precision auditor, or nil when SystemConfig
 // .Audit was not set.
 func (s *System) Auditor() *trace.Auditor { return s.auditor }
+
+// Diag returns the flight recorder, or nil when SystemConfig.Diag was
+// not set.
+func (s *System) Diag() *diag.Recorder { return s.diag }
 
 // TraceJournal returns the journal every layer of this system records
 // lifecycle events on (trace.Default unless SystemConfig.Trace was set).

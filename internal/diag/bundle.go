@@ -1,0 +1,212 @@
+// Incident bundles: one self-contained JSON document per incident,
+// captured synchronously at the moment an SLO pages so the evidence is
+// frozen before the system moves on. The spool is bounded both in
+// memory and on disk — a flapping system overwrites its oldest
+// incidents instead of filling the volume.
+
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"kalmanstream/internal/health"
+	"kalmanstream/internal/trace"
+)
+
+// Bundle is one captured incident: everything a responder would ask
+// for, in one JSON document.
+type Bundle struct {
+	// ID is the spool name, e.g. "bundle-000003-page-streams-stale".
+	ID string `json:"id"`
+	// CapturedAt is the wall-clock capture time.
+	CapturedAt time.Time `json:"captured_at"`
+	// Reason is "page:<slo>" or a free-form cause ("chaos-verdict: ...").
+	Reason string `json:"reason"`
+	// Alert is the transition that fired the capture (nil for
+	// CaptureNow bundles).
+	Alert *health.Transition `json:"alert,omitempty"`
+	// Health is the monitor snapshot at capture time: burn rates,
+	// window tables, the recent transition log.
+	Health *health.Snapshot `json:"health,omitempty"`
+	// TopK holds the offender tables keyed by sketch name
+	// (corrections, bytes, violations, stale).
+	TopK map[string][]Item `json:"topk"`
+	// TraceTail is the most recent slice of the trace journal.
+	TraceTail []trace.Event `json:"trace_tail,omitempty"`
+	// Logs is the recent log ring, oldest first.
+	Logs []LogRecord `json:"logs,omitempty"`
+	// Profile is the runtime delta since the previous capture (or
+	// since the recorder was built, for the first bundle).
+	Profile ProfileDelta `json:"profile"`
+	// Goroutines is the goroutine count at capture time.
+	Goroutines int `json:"goroutines"`
+	// GoroutineProfile is a truncated text rendering of the goroutine
+	// profile, grouped by identical stacks.
+	GoroutineProfile string `json:"goroutine_profile,omitempty"`
+}
+
+// goroutineProfileLimit bounds the embedded text profile so a bundle
+// stays a readable document, not a core dump.
+const goroutineProfileLimit = 16 << 10
+
+// capture freezes the current state into a bundle, appends it to the
+// bounded in-memory spool, and persists it when a spool directory is
+// configured. Errors writing to disk are recorded in the bundle ID's
+// memory copy only — capture itself never fails.
+func (r *Recorder) capture(reason string, alert *health.Transition) Bundle {
+	now := ReadMemSnapshot()
+
+	b := Bundle{
+		CapturedAt: time.Now(),
+		Reason:     reason,
+		TopK:       r.Top(0),
+		Goroutines: now.Goroutines,
+	}
+	if alert != nil {
+		// The live transition carries raw +Inf burn rates (a zero-budget
+		// SLO burns infinitely); encoding/json rejects infinities, so
+		// clamp to the same 1e9 sentinel /debug/health uses.
+		a := *alert
+		a.BurnFast = clampBurn(a.BurnFast)
+		a.BurnSlow = clampBurn(a.BurnSlow)
+		b.Alert = &a
+	}
+	if r.healthFn != nil {
+		snap := r.healthFn()
+		b.Health = &snap
+	}
+	if j := r.opts.Journal; j != nil {
+		tail := j.Snapshot()
+		if len(tail) > r.opts.TraceTail {
+			tail = tail[len(tail)-r.opts.TraceTail:]
+		}
+		b.TraceTail = tail
+	}
+	if r.opts.Logs != nil {
+		b.Logs = r.opts.Logs.Records()
+	}
+	var prof bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		p.WriteTo(&prof, 1)
+	}
+	if prof.Len() > goroutineProfileLimit {
+		prof.Truncate(goroutineProfileLimit)
+		prof.WriteString("\n... truncated ...\n")
+	}
+	b.GoroutineProfile = prof.String()
+
+	r.mu.Lock()
+	b.Profile = DeltaSince(r.baseline, now)
+	r.baseline = now
+	r.seq++
+	b.ID = fmt.Sprintf("bundle-%06d-%s", r.seq, sanitize(reason))
+	r.bundles = append(r.bundles, b)
+	if len(r.bundles) > r.opts.SpoolMax {
+		r.bundles = r.bundles[len(r.bundles)-r.opts.SpoolMax:]
+	}
+	r.mu.Unlock()
+
+	r.telBundles.Inc()
+	r.persist(b)
+	return b
+}
+
+// clampBurn maps +Inf (and anything past it) to the finite 1e9
+// sentinel health's own JSON surfaces use — far past every threshold,
+// and representable.
+func clampBurn(v float64) float64 {
+	if math.IsInf(v, 1) || v > 1e9 {
+		return 1e9
+	}
+	return v
+}
+
+// sanitize maps a reason to a filesystem- and URL-safe slug.
+func sanitize(reason string) string {
+	var b strings.Builder
+	for _, c := range reason {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c + ('a' - 'A'))
+		default:
+			b.WriteByte('-')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// persist writes the bundle to the spool directory and prunes it to
+// SpoolMax files (oldest first — IDs sort chronologically by
+// construction). Disk errors never fail the capture — the memory spool
+// is the source of truth — but they are counted in
+// diag_spool_errors_total so a silently unwritable spool is visible.
+func (r *Recorder) persist(b Bundle) {
+	dir := r.opts.SpoolDir
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		r.telSpoolErrs.Inc()
+		return
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		r.telSpoolErrs.Inc()
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, b.ID+".json"), data, 0o644); err != nil {
+		r.telSpoolErrs.Inc()
+		return
+	}
+	names := spoolFiles(dir)
+	for len(names) > r.opts.SpoolMax {
+		os.Remove(filepath.Join(dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// spoolFiles lists bundle files in the spool sorted oldest first.
+func spoolFiles(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// scanSpool returns the highest sequence number already present in the
+// spool directory, so restarts keep IDs monotone.
+func (r *Recorder) scanSpool() int64 {
+	if r.opts.SpoolDir == "" {
+		return 0
+	}
+	var max int64
+	for _, name := range spoolFiles(r.opts.SpoolDir) {
+		var seq int64
+		if _, err := fmt.Sscanf(name, "bundle-%d", &seq); err == nil && seq > max {
+			max = seq
+		}
+	}
+	return max
+}

@@ -1,0 +1,118 @@
+// Two-sample runtime profiling: absolute MemStats answer "how big is
+// the heap", but incident forensics wants "what CHANGED while things
+// went wrong". A ProfileDelta is the difference between two MemStats
+// samples — allocation rate, GC pressure, goroutine drift — cheap
+// enough to capture synchronously inside a page transition. The same
+// diff backs the /debug/pprof/delta endpoint: sample, sleep N seconds,
+// sample again, return the diff as JSON.
+
+package diag
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// MemSnapshot is one runtime sample: the MemStats fields that matter
+// for leak/pressure diagnosis plus the goroutine count.
+type MemSnapshot struct {
+	When         time.Time `json:"when"`
+	HeapAlloc    uint64    `json:"heap_alloc_bytes"`
+	HeapObjects  uint64    `json:"heap_objects"`
+	TotalAlloc   uint64    `json:"total_alloc_bytes"`
+	Mallocs      uint64    `json:"mallocs"`
+	Frees        uint64    `json:"frees"`
+	NumGC        uint32    `json:"num_gc"`
+	PauseTotalNs uint64    `json:"gc_pause_total_ns"`
+	Goroutines   int       `json:"goroutines"`
+}
+
+// ReadMemSnapshot samples the runtime now.
+func ReadMemSnapshot() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		When:         time.Now(),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapObjects:  ms.HeapObjects,
+		TotalAlloc:   ms.TotalAlloc,
+		Mallocs:      ms.Mallocs,
+		Frees:        ms.Frees,
+		NumGC:        ms.NumGC,
+		PauseTotalNs: ms.PauseTotalNs,
+		Goroutines:   runtime.NumGoroutine(),
+	}
+}
+
+// ProfileDelta is the change between two samples. Cumulative fields
+// (TotalAlloc, Mallocs, GC counters) diff monotonically; level fields
+// (HeapAlloc, Goroutines) may be negative.
+type ProfileDelta struct {
+	Before MemSnapshot `json:"before"`
+	After  MemSnapshot `json:"after"`
+	// Seconds is the wall time between the samples.
+	Seconds float64 `json:"seconds"`
+	// AllocBytes/AllocObjects are cumulative allocation during the span.
+	AllocBytes   int64 `json:"alloc_bytes"`
+	AllocObjects int64 `json:"alloc_objects"`
+	// HeapGrowthBytes is the net live-heap change (can be negative).
+	HeapGrowthBytes int64 `json:"heap_growth_bytes"`
+	// GCCycles and GCPauseNs are GC activity during the span.
+	GCCycles  int64 `json:"gc_cycles"`
+	GCPauseNs int64 `json:"gc_pause_ns"`
+	// GoroutineDelta is the goroutine-count change (can be negative).
+	GoroutineDelta int `json:"goroutine_delta"`
+}
+
+// DeltaSince diffs two samples taken earlier (before) and later (after).
+func DeltaSince(before, after MemSnapshot) ProfileDelta {
+	return ProfileDelta{
+		Before:          before,
+		After:           after,
+		Seconds:         after.When.Sub(before.When).Seconds(),
+		AllocBytes:      int64(after.TotalAlloc) - int64(before.TotalAlloc),
+		AllocObjects:    int64(after.Mallocs) - int64(before.Mallocs),
+		HeapGrowthBytes: int64(after.HeapAlloc) - int64(before.HeapAlloc),
+		GCCycles:        int64(after.NumGC) - int64(before.NumGC),
+		GCPauseNs:       int64(after.PauseTotalNs) - int64(before.PauseTotalNs),
+		GoroutineDelta:  after.Goroutines - before.Goroutines,
+	}
+}
+
+// DeltaHandler serves /debug/pprof/delta: two MemStats samples
+// ?seconds apart (default 1, clamped to [0, 30]) diffed into a
+// ProfileDelta JSON document. Unlike /debug/pprof/allocs this needs no
+// pprof tooling to read — it is the quick "is the heap growing right
+// now?" probe.
+func DeltaHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		secs := 1.0
+		if q := r.URL.Query().Get("seconds"); q != "" {
+			v, err := strconv.ParseFloat(q, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "seconds must be a non-negative number", http.StatusBadRequest)
+				return
+			}
+			secs = v
+		}
+		if secs > 30 {
+			secs = 30
+		}
+		before := ReadMemSnapshot()
+		if secs > 0 {
+			select {
+			case <-time.After(time.Duration(secs * float64(time.Second))):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		delta := DeltaSince(before, ReadMemSnapshot())
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(delta)
+	})
+}

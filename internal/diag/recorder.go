@@ -1,0 +1,248 @@
+// The flight recorder: always-on, fixed-memory attribution plus
+// synchronous incident capture. The design splits cleanly into a hot
+// half and a cold half. The hot half is four space-saving sketches fed
+// from the paths that already see every event — corrections and bytes
+// at the wire server's frame dispatch, δ-violations from the auditor,
+// staleness marks from the watchdog — each a TryLock away, never
+// blocking, with drops counted instead of waited out. The cold half
+// runs only when an SLO pages (or a chaos verdict fails): it freezes
+// everything a responder would ask for — the firing alert, the health
+// window table, the trace-journal tail, the top-k offender tables, a
+// runtime profile delta, the recent log ring — into one self-contained
+// JSON bundle, spooled to disk and served over /debug/bundle.
+//
+// H2O's autonomic argument (see PAPERS.md) is the motivation: a
+// control loop can only shed or throttle what it can attribute. The
+// sketches give attribution at millions-of-streams scale; the bundles
+// give the human (or the future controller) the moment-of-failure
+// state without replaying anything.
+
+package diag
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kalmanstream/internal/health"
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
+)
+
+// Sketch names used as keys in Bundle.TopK and /debug/top.
+const (
+	SketchCorrections = "corrections"
+	SketchBytes       = "bytes"
+	SketchViolations  = "violations"
+	SketchStale       = "stale"
+)
+
+// Options configures a Recorder. The zero value is usable: 128-wide
+// sketches, memory-only spool of 16 bundles, 500-tick dedupe window.
+type Options struct {
+	// K is the width of each attribution sketch (default 128).
+	K int
+	// SpoolDir, when non-empty, persists each bundle as a JSON file
+	// and prunes the directory to SpoolMax files.
+	SpoolDir string
+	// SpoolMax bounds both the in-memory bundle ring and the on-disk
+	// spool (default 16).
+	SpoolMax int
+	// DedupeTicks is the incident window: once a bundle is captured,
+	// further page transitions within this many monitor ticks join the
+	// same incident and do not capture again (default 500).
+	DedupeTicks int64
+	// TraceTail bounds the journal tail embedded in a bundle
+	// (default 256 events).
+	TraceTail int
+	// Registry receives diag_bundles_captured_total and
+	// diag_events_dropped_total (nil means telemetry.Default).
+	Registry *telemetry.Registry
+	// Journal, when non-nil, contributes the trace tail.
+	Journal *trace.Journal
+	// Logs, when non-nil, contributes recent log records.
+	Logs *RingHandler
+}
+
+// Recorder is the flight recorder. All Observe* methods are safe for
+// concurrent use and never block; capture is synchronous but runs only
+// on page transitions.
+type Recorder struct {
+	opts        Options
+	corrections *TopK
+	bytes       *TopK
+	violations  *TopK
+	stale       *TopK
+
+	telBundles   *telemetry.Counter
+	telDropped   *telemetry.Counter
+	telSpoolErrs *telemetry.Counter
+	dropped      atomic.Int64
+
+	healthFn func() health.Snapshot
+
+	mu          sync.Mutex
+	lastCapture int64 // monitor tick of the last page capture, -1 = never
+	bundles     []Bundle
+	seq         int64
+	baseline    MemSnapshot
+}
+
+// NewRecorder builds a recorder. If opts.SpoolDir is set it is created
+// on first capture; existing bundle files count toward SpoolMax.
+func NewRecorder(opts Options) *Recorder {
+	if opts.K <= 0 {
+		opts.K = 128
+	}
+	if opts.SpoolMax <= 0 {
+		opts.SpoolMax = 16
+	}
+	if opts.DedupeTicks <= 0 {
+		opts.DedupeTicks = 500
+	}
+	if opts.TraceTail <= 0 {
+		opts.TraceTail = 256
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	reg.Help("diag_bundles_captured_total", "incident bundles captured by the flight recorder")
+	reg.Help("diag_events_dropped_total", "attribution events dropped because a sketch was contended")
+	reg.Help("diag_spool_errors_total", "incident bundles that could not be written to the disk spool")
+	r := &Recorder{
+		opts:         opts,
+		corrections:  NewTopK(opts.K),
+		bytes:        NewTopK(opts.K),
+		violations:   NewTopK(opts.K),
+		stale:        NewTopK(opts.K),
+		telBundles:   reg.Counter("diag_bundles_captured_total"),
+		telDropped:   reg.Counter("diag_events_dropped_total"),
+		telSpoolErrs: reg.Counter("diag_spool_errors_total"),
+		lastCapture:  -1,
+		baseline:     ReadMemSnapshot(),
+	}
+	r.seq = r.scanSpool()
+	return r
+}
+
+// AttachHealth points bundle capture at a monitor's Snapshot. The
+// monitor invokes OnTransition hooks outside its own lock, so capture
+// may call back into Snapshot safely.
+func (r *Recorder) AttachHealth(m *health.Monitor) {
+	r.healthFn = m.Snapshot
+}
+
+// ObserveCorrection attributes one applied correction of n encoded
+// bytes to stream id. Zero allocations and never blocks: contended
+// observations are dropped and counted.
+func (r *Recorder) ObserveCorrection(id string, n int) {
+	if r == nil {
+		return
+	}
+	if !r.corrections.TryObserve(id, 1) {
+		r.drop()
+	}
+	if !r.bytes.TryObserve(id, int64(n)) {
+		r.drop()
+	}
+}
+
+// ObserveViolation attributes one δ violation to stream id.
+func (r *Recorder) ObserveViolation(id string) {
+	if r == nil {
+		return
+	}
+	if !r.violations.TryObserve(id, 1) {
+		r.drop()
+	}
+}
+
+// ObserveStale attributes one staleness event (a watchdog marking the
+// stream stale) to stream id. Called under shard locks — must never
+// block, and does not.
+func (r *Recorder) ObserveStale(id string) {
+	if r == nil {
+		return
+	}
+	if !r.stale.TryObserve(id, 1) {
+		r.drop()
+	}
+}
+
+func (r *Recorder) drop() {
+	r.dropped.Add(1)
+	r.telDropped.Inc()
+}
+
+// Dropped returns the number of attribution events dropped under
+// contention.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Sketches returns the live sketches keyed by name, for /debug/top.
+func (r *Recorder) Sketches() map[string]*TopK {
+	return map[string]*TopK{
+		SketchCorrections: r.corrections,
+		SketchBytes:       r.bytes,
+		SketchViolations:  r.violations,
+		SketchStale:       r.stale,
+	}
+}
+
+// Top returns the top n rows of every sketch, keyed by sketch name.
+func (r *Recorder) Top(n int) map[string][]Item {
+	out := make(map[string][]Item, 4)
+	for name, tk := range r.Sketches() {
+		out[name] = tk.Top(n)
+	}
+	return out
+}
+
+// OnTransition is the health.Config.OnTransition hook: every
+// transition TO page severity captures an incident bundle, unless a
+// bundle was already captured within the dedupe window (a page storm —
+// several objectives tripping on one fault — is one incident, one
+// bundle).
+func (r *Recorder) OnTransition(t health.Transition) {
+	if r == nil || t.To != health.SevPage {
+		return
+	}
+	r.mu.Lock()
+	if r.lastCapture >= 0 && t.Tick-r.lastCapture < r.opts.DedupeTicks {
+		r.mu.Unlock()
+		return
+	}
+	r.lastCapture = t.Tick
+	r.mu.Unlock()
+	r.capture("page:"+t.SLO, &t)
+}
+
+// HealthHook chains OnTransition with next, for callers that already
+// install their own transition hook.
+func (r *Recorder) HealthHook(next func(health.Transition)) func(health.Transition) {
+	return func(t health.Transition) {
+		r.OnTransition(t)
+		if next != nil {
+			next(t)
+		}
+	}
+}
+
+// CaptureNow captures a bundle unconditionally (chaos verdict
+// failures, operator request). It does not consume the dedupe window.
+func (r *Recorder) CaptureNow(reason string) Bundle {
+	return r.capture(reason, nil)
+}
+
+// DedupeWindow returns the incident dedupe window in monitor ticks:
+// page transitions within this many ticks of a capture join that
+// bundle's incident instead of capturing again.
+func (r *Recorder) DedupeWindow() int64 { return r.opts.DedupeTicks }
+
+// Bundles returns the in-memory spool oldest first.
+func (r *Recorder) Bundles() []Bundle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Bundle, len(r.bundles))
+	copy(out, r.bundles)
+	return out
+}

@@ -1,0 +1,142 @@
+// A ring slog.Handler: the flight recorder's answer to "what was the
+// process saying right before the page?". It keeps the last N records
+// in a fixed ring and (optionally) tees every record to a real handler
+// so normal logging is unchanged. Bundle capture snapshots the ring —
+// the forensic equivalent of the cockpit voice recorder.
+
+package diag
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogRecord is one captured log line, flattened for JSON.
+type LogRecord struct {
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	// Attrs renders the record's attributes as "k=v" pairs.
+	Attrs string `json:"attrs,omitempty"`
+}
+
+// logRing is the buffer shared by a RingHandler and every handler
+// derived from it via WithAttrs/WithGroup.
+type logRing struct {
+	mu   sync.Mutex
+	ring []LogRecord
+	head int // next write slot
+	n    int // records stored (≤ len(ring))
+}
+
+func (r *logRing) push(rec LogRecord) {
+	r.mu.Lock()
+	r.ring[r.head] = rec
+	r.head = (r.head + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// RingHandler is a slog.Handler holding the most recent records in a
+// bounded ring. Handlers derived with WithAttrs/WithGroup share the
+// same ring. Safe for concurrent use.
+type RingHandler struct {
+	ring  *logRing
+	next  slog.Handler // optional tee target
+	attrs string       // pre-rendered WithAttrs/WithGroup prefix
+}
+
+// NewRingHandler returns a handler keeping the last capacity records
+// (minimum 16 is enforced) and forwarding each record to next when
+// next is non-nil.
+func NewRingHandler(capacity int, next slog.Handler) *RingHandler {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &RingHandler{ring: &logRing{ring: make([]LogRecord, capacity)}, next: next}
+}
+
+// Enabled keeps Info+ for the ring regardless of the tee's level, so
+// bundles have context even when the tee is set to Warn; below Info it
+// defers to the tee.
+func (h *RingHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	if level >= slog.LevelInfo {
+		return true
+	}
+	return h.next != nil && h.next.Enabled(ctx, level)
+}
+
+// Handle records into the ring and forwards to the tee target.
+func (h *RingHandler) Handle(ctx context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	r.Attrs(func(a slog.Attr) bool {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", a.Key, a.Value.Any())
+		return true
+	})
+	h.ring.push(LogRecord{Time: r.Time, Level: r.Level.String(), Msg: r.Message, Attrs: b.String()})
+	if h.next != nil && h.next.Enabled(ctx, r.Level) {
+		return h.next.Handle(ctx, r)
+	}
+	return nil
+}
+
+// WithAttrs returns a handler sharing this ring with the attrs
+// pre-rendered into every record's Attrs string.
+func (h *RingHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	for _, a := range attrs {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", a.Key, a.Value.Any())
+	}
+	next := h.next
+	if next != nil {
+		next = next.WithAttrs(attrs)
+	}
+	return &RingHandler{ring: h.ring, next: next, attrs: b.String()}
+}
+
+// WithGroup flattens the group into an attr prefix on the ring side
+// (good enough for forensics); the tee target gets the real group.
+func (h *RingHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	next := h.next
+	if next != nil {
+		next = next.WithGroup(name)
+	}
+	prefix := h.attrs
+	if prefix != "" {
+		prefix += " "
+	}
+	return &RingHandler{ring: h.ring, next: next, attrs: prefix + name + ":"}
+}
+
+// Records returns the buffered records oldest first.
+func (h *RingHandler) Records() []LogRecord {
+	r := h.ring
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LogRecord, r.n)
+	start := (r.head - r.n + len(r.ring)) % len(r.ring)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.ring[(start+i)%len(r.ring)]
+	}
+	return out
+}

@@ -58,9 +58,11 @@ type Config struct {
 	// Registry hosts the health_alerts_active gauge (default
 	// telemetry.Default).
 	Registry *telemetry.Registry
-	// OnTransition, when set, is called synchronously for every alert
-	// state change — the chaos harness uses it to assert that faults
-	// fire the right alerts and that they clear after heal.
+	// OnTransition, when set, is called synchronously from Tick for
+	// every alert state change, in firing order, AFTER the monitor
+	// lock is released — so the hook may call back into the Monitor
+	// (the diag flight recorder captures a Snapshot inside it, the
+	// chaos harness asserts that faults fire the right alerts).
 	OnTransition func(Transition)
 }
 
@@ -116,6 +118,18 @@ type Monitor struct {
 	hists    []*histTrack
 	slos     []*sloState
 
+	// Name indexes over the track slices, built at declaration time so
+	// SLO wiring and duplicate checks are O(1) instead of a linear scan
+	// over every tracked series.
+	counterIdx map[string]*counterTrack
+	gaugeIdx   map[string]*gaugeTrack
+	histIdx    map[string]*histTrack
+
+	// pending buffers transitions fired during the current Tick so the
+	// OnTransition hook can run after the lock is released (nil in the
+	// steady state, so the no-transition tick stays allocation-free).
+	pending []Transition
+
 	alertsActive *telemetry.Gauge
 
 	transitions []Transition // ring, newest overwrite oldest
@@ -135,6 +149,9 @@ func NewMonitor(cfg Config) *Monitor {
 		cfg:          cfg,
 		alertsActive: cfg.Registry.Gauge("health_alerts_active"),
 		transitions:  make([]Transition, 0, cfg.MaxTransitions),
+		counterIdx:   make(map[string]*counterTrack),
+		gaugeIdx:     make(map[string]*gaugeTrack),
+		histIdx:      make(map[string]*histTrack),
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
 	}
@@ -150,24 +167,10 @@ func (m *Monitor) logger() *slog.Logger {
 	return slog.Default()
 }
 
-// findTrack reports whether a name is already taken by any track.
+// taken reports whether a name is already claimed by any track, via
+// the declaration-time indexes.
 func (m *Monitor) taken(name string) bool {
-	for _, t := range m.counters {
-		if t.name == name {
-			return true
-		}
-	}
-	for _, t := range m.gauges {
-		if t.name == name {
-			return true
-		}
-	}
-	for _, t := range m.hists {
-		if t.name == name {
-			return true
-		}
-	}
-	return false
+	return m.counterIdx[name] != nil || m.gaugeIdx[name] != nil || m.histIdx[name] != nil
 }
 
 // TrackCounter follows a telemetry counter under the given series name.
@@ -195,6 +198,7 @@ func (m *Monitor) trackCounter(name string, c *telemetry.Counter, fn func() int6
 	t := &counterTrack{name: name, src: c, fn: fn, ring: make([]float64, m.cfg.Windows)}
 	t.last = t.read()
 	m.counters = append(m.counters, t)
+	m.counterIdx[name] = t
 	return nil
 }
 
@@ -220,7 +224,9 @@ func (m *Monitor) trackGauge(name string, g *telemetry.Gauge, fn func() float64)
 	if m.taken(name) {
 		return fmt.Errorf("health: series %q already tracked", name)
 	}
-	m.gauges = append(m.gauges, &gaugeTrack{name: name, src: g, fn: fn, ring: make([]float64, m.cfg.Windows)})
+	t := &gaugeTrack{name: name, src: g, fn: fn, ring: make([]float64, m.cfg.Windows)}
+	m.gauges = append(m.gauges, t)
+	m.gaugeIdx[name] = t
 	return nil
 }
 
@@ -247,36 +253,17 @@ func (m *Monitor) TrackHistogram(name string, h *telemetry.Histogram) error {
 	}
 	h.ReadBuckets(t.last)
 	m.hists = append(m.hists, t)
+	m.histIdx[name] = t
 	return nil
 }
 
-// findCounter/findGauge/findHist resolve tracked series by name.
-func (m *Monitor) findCounter(name string) *counterTrack {
-	for _, t := range m.counters {
-		if t.name == name {
-			return t
-		}
-	}
-	return nil
-}
+// findCounter/findGauge/findHist resolve tracked series by name
+// through the indexes maintained at declaration time.
+func (m *Monitor) findCounter(name string) *counterTrack { return m.counterIdx[name] }
 
-func (m *Monitor) findGauge(name string) *gaugeTrack {
-	for _, t := range m.gauges {
-		if t.name == name {
-			return t
-		}
-	}
-	return nil
-}
+func (m *Monitor) findGauge(name string) *gaugeTrack { return m.gaugeIdx[name] }
 
-func (m *Monitor) findHist(name string) *histTrack {
-	for _, t := range m.hists {
-		if t.name == name {
-			return t
-		}
-	}
-	return nil
-}
+func (m *Monitor) findHist(name string) *histTrack { return m.histIdx[name] }
 
 // RatioSLO declares "bad/total must stay below budget": e.g. a δ-audit
 // objective with bad = audit_delta_violations_total, total =
@@ -358,17 +345,28 @@ func (m *Monitor) addSLO(s *sloState) error {
 // via Start. The no-transition path performs no allocation.
 func (m *Monitor) Tick() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.tick++
 	for _, g := range m.gauges {
 		g.sample()
 	}
 	m.tickInWindow++
-	if m.tickInWindow < m.cfg.WindowTicks {
-		return
+	if m.tickInWindow >= m.cfg.WindowTicks {
+		m.tickInWindow = 0
+		m.closeWindow()
 	}
-	m.tickInWindow = 0
-	m.closeWindow()
+	// Deliver transitions after releasing the lock so the hook may call
+	// back into the Monitor (e.g. the flight recorder snapshotting the
+	// window state mid-capture). pending is nil on the steady-state
+	// path, so no-transition ticks stay allocation-free.
+	var fired []Transition
+	if len(m.pending) > 0 {
+		fired = m.pending
+		m.pending = nil
+	}
+	m.mu.Unlock()
+	for _, tr := range fired {
+		m.cfg.OnTransition(tr)
+	}
 }
 
 // closeWindow finalizes the open window and runs the SLO evaluation.
@@ -449,9 +447,9 @@ func (m *Monitor) evalSLOs() {
 }
 
 // transition applies one alert state change and emits it. Caller holds
-// mu; the logger and hook run under it, which keeps the transition
-// order globally consistent (both are cheap and must not call back
-// into the Monitor).
+// mu; the logger runs under it, which keeps the transition order
+// globally consistent, while the OnTransition hook is deferred to the
+// end of Tick (outside the lock) via the pending buffer.
 func (m *Monitor) transition(s *sloState, to Severity) {
 	tr := Transition{
 		SLO:      s.name,
@@ -485,7 +483,7 @@ func (m *Monitor) transition(s *sloState, to Severity) {
 			"burn_fast", tr.BurnFast, "burn_slow", tr.BurnSlow, "tick", tr.Tick)
 	}
 	if m.cfg.OnTransition != nil {
-		m.cfg.OnTransition(tr)
+		m.pending = append(m.pending, tr)
 	}
 }
 

@@ -122,7 +122,18 @@ type Server struct {
 	shards []*shard
 	tel    *telemetry.Registry
 	tr     *trace.Journal
+
+	// onStale, when set, fires once per newly-stale stream from the
+	// watchdog, under the shard lock — see SetStaleHook.
+	onStale func(id string)
 }
+
+// SetStaleHook installs fn to be called each time the watchdog marks a
+// stream stale (once per staleness episode, not per tick). It runs
+// under the stream's shard write lock: fn must be cheap, non-blocking,
+// and must not call back into the server. The diag flight recorder's
+// TryLock-guarded sketches satisfy that. Install before traffic starts.
+func (s *Server) SetStaleHook(fn func(id string)) { s.onStale = fn }
 
 // New returns an empty server with DefaultShards lock stripes.
 func New() *Server { return NewSharded(DefaultShards) }

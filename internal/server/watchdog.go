@@ -89,6 +89,9 @@ func (s *Server) watchdogCheck(st *streamState) {
 			st.telStale.Set(1)
 			st.telStaleTotal.Inc()
 		}
+		if s.onStale != nil {
+			s.onStale(st.id)
+		}
 		if s.tr.Enabled() {
 			s.tr.Record(trace.Event{
 				StreamID: st.id,

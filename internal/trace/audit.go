@@ -73,6 +73,19 @@ type Auditor struct {
 	totalTicks      atomic.Int64
 	totalSuppressed atomic.Int64
 	totalViolations atomic.Int64
+
+	// onViolation, when set, fires inline for every δ violation — the
+	// diag flight recorder's per-stream attribution feed. Install it
+	// before traffic starts (SetViolationHook is not synchronized
+	// against concurrent Check calls) and keep it allocation-free.
+	onViolation func(streamID string, tick int64)
+}
+
+// SetViolationHook installs fn to be called for every δ violation
+// Check detects. Call before the auditor sees traffic; fn must be
+// cheap, non-blocking, and safe for concurrent use.
+func (a *Auditor) SetViolationHook(fn func(streamID string, tick int64)) {
+	a.onViolation = fn
 }
 
 // NewAuditor returns an auditor exporting per-stream series
@@ -153,6 +166,9 @@ func (a *Auditor) Check(streamID string, tick int64, deviation, bound float64, s
 			if st.lastViolTick.CompareAndSwap(old, tick+1) {
 				break
 			}
+		}
+		if a.onViolation != nil {
+			a.onViolation(streamID, tick)
 		}
 		if a.journal.Enabled() {
 			a.journal.Record(Event{

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"log/slog"
+	"testing"
+
+	"kalmanstream/internal/diag"
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/telemetry"
+)
+
+// TestMessageDispatchZeroAllocWithDiag is the armed twin of
+// TestMessageDispatchZeroAlloc: arming the flight recorder must not
+// add a single allocation to the correction fast path. The recorder's
+// top-k feed is a TryLock + map hit + in-place heap sift.
+func TestMessageDispatchZeroAllocWithDiag(t *testing.T) {
+	reg := telemetry.New()
+	rec := diag.NewRecorder(diag.Options{K: 16, Registry: reg})
+	srv := NewServerWith(Options{Metrics: reg, Logger: slog.New(slog.DiscardHandler), Diag: rec})
+	defer srv.StopWatchdog()
+	if err := srv.Register(RegisterPayload{ID: "s", Spec: cvSpec(), Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var msg netsim.Message
+	cw := &connWriter{conn: nil, s: srv}
+	m := netsim.Message{Kind: netsim.KindCorrection, StreamID: "s", Value: []float64{1}}
+	buf := make([]byte, 0, m.EncodedSize())
+	tick := int64(0)
+	// Warm: first apply grows predictor state, first observation seats
+	// the stream ID in the sketches.
+	for ; tick < 8; tick++ {
+		m.Tick = tick
+		buf = buf[:0]
+		buf, _ = m.AppendEncode(buf)
+		if err := srv.dispatch(cw, FrameMessage, buf, &msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		m.Tick = tick
+		tick++
+		buf = buf[:0]
+		buf, _ = m.AppendEncode(buf)
+		if err := srv.dispatch(cw, FrameMessage, buf, &msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("armed correction dispatch allocates %.2f per frame, want 0", avg)
+	}
+	// The feed really ran: every dispatched correction is attributed.
+	if c, ok := rec.Sketches()[diag.SketchCorrections].Count("s"); !ok || c < 500 {
+		t.Errorf("corrections sketch saw %d,%v events, want >= 500", c, ok)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
@@ -132,6 +133,7 @@ type Server struct {
 	telFrame [FrameResyncRequest + 1]*telemetry.Histogram
 
 	monitor *health.Monitor
+	diag    *diag.Recorder
 }
 
 // Options configures a wire server beyond the defaults.
@@ -157,6 +159,13 @@ type Options struct {
 	// caller owns the monitor's clock: tick it from a System, or call
 	// Start for wall-clock windows.
 	Health *health.Monitor
+	// Diag, when non-nil, arms the flight recorder: corrections and
+	// their encoded bytes are attributed per stream on the frame
+	// dispatch path, δ violations from the auditor, staleness marks
+	// from the wall-clock watchdog. All feeds are TryLock-guarded and
+	// allocation-free, preserving the dispatch path's zero-alloc
+	// property (TestMessageDispatchZeroAllocWithDiag).
+	Diag *diag.Recorder
 }
 
 // NewServer returns an empty wire server instrumented against
@@ -210,6 +219,11 @@ func NewServerWith(opts Options) *Server {
 	reg.Help("query_latency_seconds", "wire query handling latency")
 	reg.Help("streams_stale", "streams currently silent past the watchdog deadline")
 	reg.Help("watchdog_resync_requests_total", "resync requests pushed to sources")
+	if opts.Diag != nil {
+		s.diag = opts.Diag
+		d := s.diag
+		s.auditor.SetViolationHook(func(id string, _ int64) { d.ObserveViolation(id) })
+	}
 	if s.staleAfter > 0 {
 		s.StartWatchdog()
 	}
@@ -278,6 +292,10 @@ func (s *Server) ConfigureHealth(m *health.Monitor) error {
 // Health returns the monitor wired by ConfigureHealth (nil when health
 // is off).
 func (s *Server) Health() *health.Monitor { return s.monitor }
+
+// Diag returns the flight recorder armed via Options.Diag (nil when
+// diagnostics are off).
+func (s *Server) Diag() *diag.Recorder { return s.diag }
 
 // HealthStreams snapshots every registered stream's cumulative counters
 // for the /debug/health payload.
@@ -364,6 +382,7 @@ func (s *Server) scanStale(now time.Time) {
 		if !h.stale {
 			h.stale = true
 			s.telStaleTotal.Inc()
+			s.diag.ObserveStale(id)
 			s.logw("wire: stream stale", "stream", id, "silent", now.Sub(h.lastMsg).Round(time.Millisecond))
 			if s.tr.Enabled() {
 				s.tr.Record(trace.Event{
@@ -706,7 +725,13 @@ func (s *Server) route(cw *connWriter, typ uint8, payload []byte, msg *netsim.Me
 		// path costs exactly one frame — the property being measured.
 		// Apply copies what it keeps, so reusing msg across frames is
 		// safe.
-		return s.Apply(msg)
+		if err := s.Apply(msg); err != nil {
+			return err
+		}
+		if s.diag != nil && msg.Kind == netsim.KindCorrection {
+			s.diag.ObserveCorrection(msg.StreamID, len(payload))
+		}
+		return nil
 	case FrameQuery:
 		var q QueryPayload
 		if err := json.Unmarshal(payload, &q); err != nil {
