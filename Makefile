@@ -9,11 +9,11 @@ GO ?= go
 # that `make bench-compare` gates against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR6.json
 # The regression gate: benchmarks matching this pattern may not regress
 # ns/op by more than BENCH_MAXREGRESS percent against BENCH_BASE.
-BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve
+BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced
 BENCH_MAXREGRESS ?= 10
 
 .PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke

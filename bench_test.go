@@ -9,6 +9,7 @@ package kalmanstream_test
 import (
 	"fmt"
 	"log/slog"
+	"net"
 	"runtime"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
 	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/wire"
 )
 
 // benchTicks keeps experiment benchmarks at a scale where one iteration
@@ -264,6 +266,76 @@ func BenchmarkTopKObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tk.TryObserve(ids[i&127], 1)
+	}
+}
+
+// BenchmarkWireCoalesced sweeps the correction write ring over a real
+// TCP connection: batch=1 is the legacy one-frame-per-correction path,
+// larger batches coalesce that many corrections per FrameMessageBatch.
+// ns/op is the full end-to-end cost per correction (client encode +
+// framing + syscalls + server decode + replica apply); corr/flush
+// confirms the ring actually fills. The batch=16/32 rows against
+// batch=1 are the headline wire-throughput claim, and 1e9/ns·tickrate
+// sizes max streams per node (see README).
+func BenchmarkWireCoalesced(b *testing.B) {
+	for _, batch := range []int{1, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchWireCoalesced(b, batch)
+		})
+	}
+}
+
+func benchWireCoalesced(b *testing.B, batch int) {
+	reg := telemetry.New()
+	srv := wire.NewServerWith(wire.Options{
+		Metrics: reg,
+		Logger:  slog.New(slog.DiscardHandler),
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	defer func() {
+		l.Close()
+		<-done
+	}()
+	c, err := wire.Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if batch > 1 {
+		c.EnableCoalescing(wire.CoalesceConfig{MaxCorrections: batch, MaxBytes: 1 << 20})
+	}
+	spec := predictor.Spec{Kind: predictor.KindKalman,
+		Model: predictor.ModelSpec{Kind: predictor.ModelRandomWalk, Q: 0.1, R: 0.1}}
+	if err := c.Register("s", spec, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	m := &netsim.Message{Kind: netsim.KindCorrection, StreamID: "s", Value: make([]float64, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick = int64(i + 1)
+		m.Value[0] = float64(i&15) * 0.25
+		if err := c.SendCorrection(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The query is the sync point: it flushes the ring and round-trips,
+	// so the timed region covers every server-side apply.
+	if _, err := c.Query("s", int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if flushes := reg.Counter("wire_frames_coalesced_total").Value(); flushes > 0 {
+		sum := reg.Histogram("wire_corrections_per_frame", telemetry.BatchSizeBuckets).Sum()
+		b.ReportMetric(sum/float64(flushes), "corr/flush")
 	}
 }
 

@@ -2,7 +2,13 @@
 // Sources connect with cmd/kfsource (or any client of internal/wire),
 // register streams, and ship only the corrections their precision gates
 // let through; queries can be answered from any connection with hard
-// error bounds.
+// error bounds. Corrections arrive either as individual frames or — for
+// sources started with -coalesce — as batched frames carrying many
+// corrections behind one length header; the server decodes those
+// zero-copy and applies the whole batch under a single lock acquisition
+// (wire_frames_coalesced_total / wire_corrections_per_frame track the
+// mix). No flag is needed server-side: both framings are always
+// accepted, on the same connection, in any order.
 //
 // Observability: every connection and stream is instrumented (see the
 // README's Observability section for metric names). The telemetry

@@ -51,6 +51,9 @@ func main() {
 	retryMax := flag.Int("retry-max", wire.DefaultDialAttempts, "consecutive failed dials before giving up (negative = forever)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first reconnect backoff step")
 	retryCap := flag.Duration("retry-cap", 2*time.Second, "reconnect backoff ceiling")
+	coalesce := flag.Bool("coalesce", false, "batch corrections into coalesced wire frames")
+	coalesceMax := flag.Int("coalesce-max", 16, "corrections per coalesced frame before a flush")
+	coalesceAfter := flag.Duration("coalesce-after", 5*time.Millisecond, "flush deadline for a partially filled batch (0 = none)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).
@@ -102,6 +105,14 @@ func main() {
 		os.Exit(1)
 	}
 	client.Logger = logger
+	if *coalesce {
+		// Queries, trace batches, and Close flush the ring implicitly, so
+		// the periodic progress query never reads stale answers.
+		client.EnableCoalescing(wire.CoalesceConfig{
+			MaxCorrections: *coalesceMax,
+			FlushAfter:     *coalesceAfter,
+		})
+	}
 
 	var journal *trace.Journal
 	cfg := source.Config{
@@ -119,7 +130,7 @@ func main() {
 		logger.Error("registration failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr, "trace", *traceOn)
+	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr, "trace", *traceOn, "coalesce", *coalesce)
 
 	// Mid-stream transport errors end the run gracefully rather than
 	// aborting: stop observing, flush a final stats line, close the

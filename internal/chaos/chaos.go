@@ -215,6 +215,11 @@ type Config struct {
 	// arm for asserting that diagnostics are a pure observer (armed and
 	// unarmed loss-free runs must produce byte-identical summaries).
 	DisableDiag bool
+	// Coalesce batches uplink deliveries through the coalesced message
+	// codec (core.SystemConfig.CoalesceUplink). Coalescing is asserted to
+	// be a pure transport change: a run with it on produces byte-identical
+	// summaries to the same run with it off, faults and all.
+	Coalesce bool
 	// BundleDir, when set, spools captured incident bundles to disk
 	// (the chaos-smoke CI artifact).
 	BundleDir string
@@ -424,11 +429,12 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 	sys, err := core.NewSystem(core.SystemConfig{
-		Trace:     tr,
-		Audit:     true,
-		Telemetry: reg,
-		Health:    mon,
-		Diag:      rec,
+		Trace:          tr,
+		Audit:          true,
+		Telemetry:      reg,
+		Health:         mon,
+		Diag:           rec,
+		CoalesceUplink: cfg.Coalesce,
 	})
 	if err != nil {
 		return Report{}, err

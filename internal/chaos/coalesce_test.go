@@ -1,0 +1,63 @@
+package chaos
+
+import "testing"
+
+// Coalescing is a pure transport change: the same corrections reach the
+// replica in the same order with the same values, so a run with the
+// uplink coalescer armed must be byte-identical to the plain run — even
+// through delay, duplication, and reorder faults (loss-free, so every
+// correction still arrives).
+func TestCoalescedRunByteIdentical(t *testing.T) {
+	cfg := Config{
+		Ticks:   3000,
+		Streams: 2,
+		Schedule: Schedule{
+			{Name: "delay-dup", From: 500, Until: 1400, DelayTicks: 3, DuplicateProb: 0.25, ReorderProb: 0.3},
+		},
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coal := cfg
+	coal.Coalesce = true
+	coalesced, err := Run(coal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coalesced.Summary() != plain.Summary() {
+		t.Errorf("coalescing changed the run:\ncoalesced:\n%s\nplain:\n%s",
+			coalesced.Summary(), plain.Summary())
+	}
+	if coalesced.HealthSummary() != plain.HealthSummary() {
+		t.Errorf("coalescing changed health:\ncoalesced:\n%s\nplain:\n%s",
+			coalesced.HealthSummary(), plain.HealthSummary())
+	}
+}
+
+// The flight recorder stays a pure observer with coalescing on: armed
+// vs disarmed, same bytes (the ISSUE's acceptance gate).
+func TestCoalescedArmedRunByteIdentical(t *testing.T) {
+	cfg := Config{Ticks: 3000, Streams: 2, Coalesce: true}
+	armed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := cfg
+	ctrl.DisableDiag = true
+	control, err := Run(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.Summary() != control.Summary() {
+		t.Errorf("armed recorder changed the coalesced run:\narmed:\n%s\ncontrol:\n%s",
+			armed.Summary(), control.Summary())
+	}
+	if armed.HealthSummary() != control.HealthSummary() {
+		t.Errorf("armed recorder changed coalesced health:\narmed:\n%s\ncontrol:\n%s",
+			armed.HealthSummary(), control.HealthSummary())
+	}
+	if len(armed.Bundles) != 0 {
+		t.Errorf("loss-free coalesced run captured %d bundles, want 0", len(armed.Bundles))
+	}
+}

@@ -225,6 +225,16 @@ type SystemConfig struct {
 	// and allocation-free, so an armed recorder leaves the tick
 	// pipeline's performance and results untouched.
 	Diag *diag.Recorder
+	// CoalesceUplink routes every uplink delivery through the batched
+	// message codec: a stream's matured messages encode into a pending
+	// per-stream batch instead of applying one at a time, and the system
+	// flushes at exactly the points where the effects become observable —
+	// inside Observe before the audit check, and at the end of Advance's
+	// link phase. The in-process twin of the wire layer's
+	// FrameMessageBatch, asserted to be a pure transport change: same
+	// messages, same order, same replica states, byte-identical run
+	// summaries (see chaos.Config.Coalesce).
+	CoalesceUplink bool
 }
 
 // System is a stream resource manager: the server-side replica cache plus
@@ -256,6 +266,8 @@ type System struct {
 	shardTasks []func() // one per server shard, built once
 	linkTasks  []func() // chunked link ticks, rebuilt after Attach
 	linkDirty  bool
+
+	coalesce bool
 }
 
 // Predicate is a continuous range condition on a stream.
@@ -276,11 +288,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	srv.SetTrace(tr)
 	s := &System{
-		srv:     srv,
-		handles: make(map[string]*StreamHandle),
-		tr:      tr,
-		health:  cfg.Health,
-		workers: cfg.Workers,
+		srv:      srv,
+		handles:  make(map[string]*StreamHandle),
+		tr:       tr,
+		health:   cfg.Health,
+		workers:  cfg.Workers,
+		coalesce: cfg.CoalesceUplink,
 	}
 	if cfg.Audit {
 		s.auditor = trace.NewAuditor(cfg.Telemetry, tr)
@@ -336,6 +349,9 @@ type StreamHandle struct {
 	// the watchdog is off.
 	fb   *netsim.Link
 	norm Norm // gate norm, reused by the precision auditor
+	// coal batches this stream's uplink deliveries when the system runs
+	// with CoalesceUplink; nil otherwise.
+	coal *netsim.Coalescer
 }
 
 // Attach registers a stream and returns its source-side handle.
@@ -343,16 +359,35 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 	if err := s.srv.Register(cfg.ID, cfg.Predictor, cfg.Delta); err != nil {
 		return nil, err
 	}
-	link := netsim.NewLink(func(m *netsim.Message) {
-		// The link delivers into the server; a delivery failure is a
-		// protocol bug, surfaced on the next Observe.
+	// apply is the terminal receiver: replica apply plus diag
+	// attribution. A delivery failure is a protocol bug, surfaced by
+	// panic rather than silently corrupting the replica.
+	apply := func(m *netsim.Message) {
 		if err := s.srv.Apply(m); err != nil {
 			panic(fmt.Sprintf("core: replica apply failed: %v", err))
 		}
 		if s.diag != nil && m.Kind == netsim.KindCorrection {
 			s.diag.ObserveCorrection(m.StreamID, m.EncodedSize())
 		}
-	}, netsim.LinkConfig{
+	}
+	var coal *netsim.Coalescer
+	recv := func(m *netsim.Message) {
+		apply(m)
+		// The replica copied what it keeps; recycle the pooled message.
+		netsim.PutMessage(m)
+	}
+	if s.coalesce {
+		// Batched transport: deliveries encode into the pending batch
+		// (which recycles the message) and apply at the next flush —
+		// Observe and Advance flush before any effect is observable.
+		coal = netsim.NewCoalescer(apply, 0, 0)
+		recv = func(m *netsim.Message) {
+			if err := coal.Add(m); err != nil {
+				panic(fmt.Sprintf("core: coalescing uplink message failed: %v", err))
+			}
+		}
+	}
+	link := netsim.NewLink(recv, netsim.LinkConfig{
 		DelayTicks: cfg.LinkDelayTicks,
 		DropProb:   cfg.LinkDropProb,
 		Seed:       cfg.LinkSeed,
@@ -375,7 +410,7 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		_ = s.srv.Unregister(cfg.ID)
 		return nil, err
 	}
-	h := &StreamHandle{sys: s, src: src, link: link, norm: cfg.DeviationNorm}
+	h := &StreamHandle{sys: s, src: src, link: link, norm: cfg.DeviationNorm, coal: coal}
 	// Arm the staleness watchdog: explicit deadline wins; otherwise it is
 	// derived from the gate's heartbeat interval (twice HeartbeatEvery,
 	// so one lost heartbeat never trips it). Without heartbeats a silent
@@ -453,6 +488,15 @@ func (s *System) Advance() error {
 		}
 		s.pool.run(s.linkTasks)
 	}
+	if s.coalesce {
+		// Delayed messages matured into the per-stream batches during the
+		// link phase; apply them all before the tick is observable. The
+		// flush order is attach order — the same order the serial link
+		// loop applies deliveries in.
+		for _, h := range s.order {
+			h.coal.Flush()
+		}
+	}
 	s.tick.Add(1)
 	if s.health != nil {
 		s.health.Tick()
@@ -506,6 +550,13 @@ func (s *System) Close() {
 func (h *StreamHandle) Observe(value []float64) (sent bool, err error) {
 	tick := h.sys.tick.Load() - 1
 	sent, err = h.src.Observe(tick, value)
+	if h.coal != nil {
+		// A zero-delay link delivered this observation's correction into
+		// the batch synchronously; flush so queries — and the audit check
+		// below — see exactly the replica state the unbatched transport
+		// would produce.
+		h.coal.Flush()
+	}
 	if err != nil || h.sys.auditor == nil {
 		return sent, err
 	}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream/internal/resource"
+)
+
+// TestIncrementalAllocatorsMatchE8Sweep is the end-to-end half of the
+// incremental-allocation equivalence suite: it replays the E8 budget
+// sweep (every budget point, 32 heterogeneous streams) once with the
+// stateless from-scratch allocator and once with its incremental,
+// cache-backed counterpart, and requires every headline number —
+// achieved rate, mean δ, max δ, reallocation rounds — to be
+// bit-identical. Any divergence in any allocation of any round would
+// cascade into different correction traffic and fail here.
+func TestIncrementalAllocatorsMatchE8Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	cfg := Config{Ticks: 4000, Seed: 42}
+	for _, tc := range []struct {
+		name    string
+		scratch resource.Allocator
+		fresh   func() resource.Allocator
+	}{
+		{"fair-share", resource.FairShare{}, func() resource.Allocator { return resource.NewIncrementalFairShare() }},
+		{"water-filling", resource.WaterFilling{}, func() resource.Allocator { return resource.NewIncrementalWaterFilling() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, budget := range []float64{0.5, 1, 2, 4} {
+				wantRate, wantMean, wantMax, wantRounds, err := runBudget(cfg, tc.scratch, budget, 32)
+				if err != nil {
+					t.Fatalf("budget %g from-scratch: %v", budget, err)
+				}
+				// Fresh incremental instance per combo, exactly as the E8
+				// harness would construct one.
+				gotRate, gotMean, gotMax, gotRounds, err := runBudget(cfg, tc.fresh(), budget, 32)
+				if err != nil {
+					t.Fatalf("budget %g incremental: %v", budget, err)
+				}
+				if gotRounds != wantRounds {
+					t.Fatalf("budget %g: rounds %d != %d", budget, gotRounds, wantRounds)
+				}
+				for _, c := range []struct {
+					field     string
+					got, want float64
+				}{
+					{"achieved rate", gotRate, wantRate},
+					{"mean delta", gotMean, wantMean},
+					{"max delta", gotMax, wantMax},
+				} {
+					if math.Float64bits(c.got) != math.Float64bits(c.want) {
+						t.Fatalf("budget %g: %s diverged: incremental %x != from-scratch %x",
+							budget, c.field, math.Float64bits(c.got), math.Float64bits(c.want))
+					}
+				}
+			}
+		})
+	}
+}

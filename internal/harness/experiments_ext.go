@@ -201,6 +201,9 @@ func runBudget(cfg Config, alloc resource.Allocator, budget float64, nStreams in
 			if aerr := srv.Apply(m); aerr != nil && applyErr == nil {
 				applyErr = aerr
 			}
+			// The replica copied what it keeps; recycle the message so
+			// the budget loop's send path stays allocation-free.
+			netsim.PutMessage(m)
 		}, netsim.LinkConfig{})
 		src, serr := source.New(source.Config{StreamID: id, Spec: spec, Delta: sigma}, link.Send)
 		if serr != nil {
@@ -210,7 +213,10 @@ func runBudget(cfg Config, alloc resource.Allocator, budget float64, nStreams in
 			return 0, 0, 0, 0, err
 		}
 		srcs[i] = src
-		gens[i] = stream.NewRandomWalk(cfg.Seed+int64(i), 0, sigma, sigma/20, cfg.Ticks)
+		g := stream.NewRandomWalk(cfg.Seed+int64(i), 0, sigma, sigma/20, cfg.Ticks)
+		// Points are consumed within the loop iteration, never retained.
+		g.ReuseBuffers()
+		gens[i] = g
 	}
 	// Measure the achieved rate over the second half, after convergence.
 	half := cfg.Ticks / 2
@@ -273,7 +279,10 @@ func runE9(cfg Config) (*Result, error) {
 		if err := srv.Register(id, spec, delta); err != nil {
 			return nil, err
 		}
-		link := netsim.NewLink(func(m *netsim.Message) { _ = srv.Apply(m) }, netsim.LinkConfig{})
+		link := netsim.NewLink(func(m *netsim.Message) {
+			_ = srv.Apply(m)
+			netsim.PutMessage(m)
+		}, netsim.LinkConfig{})
 		src, err := source.New(source.Config{StreamID: id, Spec: spec, Delta: delta}, link.Send)
 		if err != nil {
 			return nil, err

@@ -205,6 +205,8 @@ func Run(spec predictor.Spec, delta float64, norm source.Norm, st stream.Stream)
 		if err := srv.Apply(m); err != nil && applyErr == nil {
 			applyErr = err
 		}
+		// The replica copied what it keeps; recycle the message.
+		netsim.PutMessage(m)
 	}, netsim.LinkConfig{})
 	src, err := source.New(source.Config{
 		StreamID:      id,

@@ -39,6 +39,15 @@ type Filter struct {
 	krkNN  *mat.Matrix // K·R·Kᵀ
 	ky     []float64   // K·y
 
+	// scalar marks a 1-state/1-observation model, enabling the scalar
+	// fast paths in Predict and Update. Those paths mirror the general
+	// matrix code operation for operation (including the zero-operand
+	// skip in MulTo and the 0-initialized accumulators), so their
+	// results are bit-identical to the general path — replicas built
+	// from the same spec stay in lock-step regardless of which build
+	// first introduced the fast path.
+	scalar bool
+
 	ticks   uint64 // Predict calls since construction
 	updates uint64 // Update calls since construction
 }
@@ -79,6 +88,7 @@ func NewFilter(model *Model, x0 []float64, p0 *mat.Matrix) (*Filter, error) {
 		leftNN: mat.New(n, n),
 		krkNN:  mat.New(n, n),
 		ky:     make([]float64, n),
+		scalar: n == 1 && m == 1,
 	}
 	return f, nil
 }
@@ -96,11 +106,24 @@ func MustFilter(model *Model, x0 []float64, p0 *mat.Matrix) *Filter {
 // Model returns a copy of the filter's model.
 func (f *Filter) Model() *Model { return f.model.Clone() }
 
+// StateDim returns the model's state dimension without copying the model.
+func (f *Filter) StateDim() int { return f.model.StateDim() }
+
+// ObsDim returns the model's observation dimension without copying the
+// model. Hot paths must use this rather than Model().ObsDim(): Model
+// deep-copies four matrices to protect the filter's internals, which is
+// exactly wrong for a per-tick dimension check.
+func (f *Filter) ObsDim() int { return f.model.ObsDim() }
+
 // Predict performs the time update:
 //
 //	x ← F·x
 //	P ← F·P·Fᵀ + Q
 func (f *Filter) Predict() {
+	if f.scalar {
+		f.predictScalar()
+		return
+	}
 	mat.MulVecTo(f.xNext, f.model.F, f.x)
 	copy(f.x, f.xNext)
 
@@ -108,6 +131,30 @@ func (f *Filter) Predict() {
 	mat.MulTo(f.tmpNN2, f.tmpNN, f.ft)  // F·P·Fᵀ
 	mat.AddTo(f.p, f.tmpNN2, f.model.Q) // + Q
 	mat.Symmetrize(f.p)
+	f.ticks++
+}
+
+// predictScalar is Predict for 1×1 models with the exact operation
+// sequence of the matrix path: each product accumulates into a
+// 0-initialized sum (MulVecTo) and MulTo's zero-left-operand skip is
+// reproduced, so every intermediate is bit-identical to the general
+// code. Symmetrize is a no-op at 1×1.
+func (f *Filter) predictScalar() {
+	fv := f.model.F.Raw()[0]
+	var xn float64
+	xn += fv * f.x[0] // MulVecTo: 0 + F·x
+	f.x[0] = xn
+
+	p := f.p.Raw()
+	var fp float64
+	if fv != 0 { // MulTo skips zero left operands
+		fp += fv * p[0]
+	}
+	var fpf float64
+	if fp != 0 {
+		fpf += fp * fv // Fᵀ = F at 1×1
+	}
+	p[0] = fpf + f.model.Q.Raw()[0]
 	f.ticks++
 }
 
@@ -125,6 +172,9 @@ func (f *Filter) Update(z []float64) error {
 	m := f.model.ObsDim()
 	if len(z) != m {
 		return fmt.Errorf("kalman: observation has length %d, want %d", len(z), m)
+	}
+	if f.scalar {
+		return f.updateScalar(z[0])
 	}
 	// Innovation y = z − H·x.
 	mat.MulVecTo(f.hx, f.model.H, f.x)
@@ -164,6 +214,70 @@ func (f *Filter) Update(z []float64) error {
 	return nil
 }
 
+// updateScalar is Update for 1×1 models, mirroring the matrix path's
+// operation order bit for bit (see predictScalar): 0-initialized
+// accumulators for every product, MulTo's zero-left-operand skip, the
+// partial-pivot singularity threshold, and InverseTo's 1·(1/s) scaling.
+func (f *Filter) updateScalar(z float64) error {
+	h := f.model.H.Raw()[0]
+	p := f.p.Raw()
+	var hx float64
+	hx += h * f.x[0] // MulVecTo: 0 + H·x
+	y := z - hx
+	// S = H·P·Hᵀ + R via two MulTo steps.
+	var hp float64
+	if h != 0 {
+		hp += h * p[0]
+	}
+	var hph float64
+	if hp != 0 {
+		hph += hp * h
+	}
+	s := hph + f.model.R.Raw()[0]
+	if math.Abs(s) < 1e-14 {
+		return fmt.Errorf("kalman: innovation covariance singular: %w", mat.ErrSingular)
+	}
+	sInv := 1 * (1 / s) // InverseTo: identity row scaled by 1/pivot
+	// K = P·Hᵀ·S⁻¹.
+	var ph float64
+	if p[0] != 0 {
+		ph += p[0] * h
+	}
+	var k float64
+	if ph != 0 {
+		k += ph * sInv
+	}
+	// x ← x + K·y.
+	var ky float64
+	ky += k * y
+	f.x[0] += ky
+	// Joseph form at 1×1: P ← (1−kh)·P·(1−kh) + k·R·k.
+	var kh float64
+	if k != 0 {
+		kh += k * h
+	}
+	ikh := 1 - kh
+	var ip float64
+	if ikh != 0 {
+		ip += ikh * p[0]
+	}
+	var left float64
+	if ip != 0 {
+		left += ip * ikh
+	}
+	var kr float64
+	if k != 0 {
+		kr += k * f.model.R.Raw()[0]
+	}
+	var krk float64
+	if kr != 0 {
+		krk += kr * k
+	}
+	p[0] = left + krk
+	f.updates++
+	return nil
+}
+
 // State returns a copy of the current state estimate.
 func (f *Filter) State() []float64 { return mat.VecClone(f.x) }
 
@@ -193,6 +307,13 @@ func (f *Filter) SetCovariance(p *mat.Matrix) error {
 // quantity at the current state.
 func (f *Filter) Observation() []float64 {
 	return mat.MulVec(f.model.H, f.x)
+}
+
+// ObservationInto computes H·x into dst, which must have length ObsDim.
+// It is the allocation-free twin of Observation for per-tick callers.
+func (f *Filter) ObservationInto(dst []float64) []float64 {
+	mat.MulVecTo(dst, f.model.H, f.x)
+	return dst
 }
 
 // ObservationVariance returns the predictive variance of each observation

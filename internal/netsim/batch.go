@@ -1,0 +1,142 @@
+package netsim
+
+// Batched message codec. The netsim encoding is self-delimiting, so a
+// batch is simply the concatenation of AppendEncode outputs; DecodeNext
+// walks the concatenation back out without copying or per-message
+// allocation. The wire layer ships such batches as one coalesced frame
+// (one syscall per burst instead of one per correction), and the core
+// coalescer uses the same codec in-process to prove batching is a pure
+// transport change.
+
+import "fmt"
+
+// Batch accumulates messages into one self-delimiting payload.
+// The zero value is ready to use. Not safe for concurrent use.
+type Batch struct {
+	buf      []byte
+	count    int
+	lastTick int64
+}
+
+// Add appends m's encoding to the batch.
+func (b *Batch) Add(m *Message) error {
+	buf, err := m.AppendEncode(b.buf)
+	if err != nil {
+		return err
+	}
+	b.buf = buf
+	b.count++
+	b.lastTick = m.Tick
+	return nil
+}
+
+// Count returns the number of messages in the batch.
+func (b *Batch) Count() int { return b.count }
+
+// Len returns the batch's encoded size in bytes.
+func (b *Batch) Len() int { return len(b.buf) }
+
+// LastTick returns the tick of the most recently added message — the
+// signal flush-on-tick-boundary policies key on. Meaningless when the
+// batch is empty.
+func (b *Batch) LastTick() int64 { return b.lastTick }
+
+// Bytes returns the encoded batch. The slice is invalidated by the next
+// Add or Reset.
+func (b *Batch) Bytes() []byte { return b.buf }
+
+// Reset empties the batch, retaining the buffer's capacity.
+func (b *Batch) Reset() {
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
+// DecodeBatch decodes every message in a batch payload front to back,
+// invoking apply for each. The scratch message is reused across
+// sub-records, so a steady stream of batches decodes without allocating;
+// apply must copy anything it keeps. It returns the number of messages
+// applied before the first error (decode or apply), if any.
+func DecodeBatch(buf []byte, scratch *Message, apply func(*Message) error) (int, error) {
+	n := 0
+	for len(buf) > 0 {
+		rest, err := DecodeNext(scratch, buf)
+		if err != nil {
+			return n, err
+		}
+		if err := apply(scratch); err != nil {
+			return n, err
+		}
+		n++
+		buf = rest
+	}
+	return n, nil
+}
+
+// Coalescer batches delivered messages through the batched codec before
+// applying them: each added message is encoded into the pending batch
+// (and recycled to the message pool), and Flush round-trips the batch
+// through DecodeBatch into the apply callback. Semantically it is the
+// identity transport — same messages, same order, same values — which is
+// exactly what the chaos harness asserts when it runs armed with
+// coalescing on. Not safe for concurrent use.
+type Coalescer struct {
+	apply   func(*Message)
+	batch   Batch
+	scratch Message
+	// MaxMessages / MaxBytes bound the pending batch; Add flushes first
+	// when either would be exceeded. Zero means unbounded (explicit
+	// Flush only).
+	maxMessages int
+	maxBytes    int
+
+	flushes  int64
+	messages int64
+}
+
+// NewCoalescer returns a coalescer applying batched messages via apply.
+// maxMessages and maxBytes bound the pending batch (zero = unbounded).
+func NewCoalescer(apply func(*Message), maxMessages, maxBytes int) *Coalescer {
+	return &Coalescer{apply: apply, maxMessages: maxMessages, maxBytes: maxBytes}
+}
+
+// Add encodes m into the pending batch and recycles m. Delivery to the
+// apply callback happens at the next Flush (or immediately when the
+// batch bounds are hit).
+func (c *Coalescer) Add(m *Message) error {
+	if c.maxMessages > 0 && c.batch.Count() >= c.maxMessages ||
+		c.maxBytes > 0 && c.batch.Len()+m.EncodedSize() > c.maxBytes && c.batch.Count() > 0 {
+		c.Flush()
+	}
+	err := c.batch.Add(m)
+	PutMessage(m)
+	return err
+}
+
+// Flush decodes the pending batch and applies every message in order.
+func (c *Coalescer) Flush() {
+	if c.batch.Count() == 0 {
+		return
+	}
+	n, err := DecodeBatch(c.batch.Bytes(), &c.scratch, func(m *Message) error {
+		c.apply(m)
+		return nil
+	})
+	if err != nil {
+		// Impossible by construction — the batch holds only encodings this
+		// coalescer produced. Fail loudly rather than silently dropping
+		// corrections.
+		panic(fmt.Sprintf("netsim: coalescer flush failed after %d messages: %v", n, err))
+	}
+	c.flushes++
+	c.messages += int64(n)
+	c.batch.Reset()
+}
+
+// Pending returns the number of messages awaiting flush.
+func (c *Coalescer) Pending() int { return c.batch.Count() }
+
+// Stats returns the number of flushes performed and total messages
+// delivered through them.
+func (c *Coalescer) Stats() (flushes, messages int64) {
+	return c.flushes, c.messages
+}

@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func batchMessages(n int) []*Message {
+	msgs := make([]*Message, n)
+	for i := range msgs {
+		m := &Message{
+			Kind:     KindCorrection,
+			StreamID: fmt.Sprintf("s%02d", i%7),
+			Tick:     int64(100 + i),
+			Value:    []float64{float64(i) * 1.25, math.Pi * float64(i)},
+		}
+		if i%5 == 0 {
+			m.Kind = KindDeltaUpdate
+			m.Value = m.Value[:1]
+		}
+		if i%3 == 0 {
+			m.Trace = uint64(i + 1)
+		}
+		msgs[i] = m
+	}
+	return msgs
+}
+
+// TestBatchRoundTrip: a batch is the concatenation of self-delimiting
+// encodings; DecodeBatch must walk every message back out in order with
+// identical fields.
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := batchMessages(23)
+	var b Batch
+	for _, m := range msgs {
+		if err := b.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Count() != len(msgs) {
+		t.Fatalf("count %d, want %d", b.Count(), len(msgs))
+	}
+	if b.LastTick() != msgs[len(msgs)-1].Tick {
+		t.Fatalf("last tick %d, want %d", b.LastTick(), msgs[len(msgs)-1].Tick)
+	}
+	var scratch Message
+	i := 0
+	n, err := DecodeBatch(b.Bytes(), &scratch, func(m *Message) error {
+		want := msgs[i]
+		if m.Kind != want.Kind || m.StreamID != want.StreamID ||
+			m.Tick != want.Tick || m.Trace != want.Trace {
+			return fmt.Errorf("record %d: got %+v want %+v", i, m, want)
+		}
+		if len(m.Value) != len(want.Value) {
+			return fmt.Errorf("record %d: value len %d want %d", i, len(m.Value), len(want.Value))
+		}
+		for j := range m.Value {
+			if math.Float64bits(m.Value[j]) != math.Float64bits(want.Value[j]) {
+				return fmt.Errorf("record %d value %d: %g want %g", i, j, m.Value[j], want.Value[j])
+			}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(msgs) {
+		t.Fatalf("decoded %d, want %d", n, len(msgs))
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("reset did not empty the batch")
+	}
+}
+
+// TestBatchTruncatedPayload: DecodeBatch must stop with an error (not
+// panic, not loop) when the payload is cut mid-record.
+func TestBatchTruncatedPayload(t *testing.T) {
+	var b Batch
+	for _, m := range batchMessages(4) {
+		if err := b.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := b.Bytes()
+	var scratch Message
+	n, err := DecodeBatch(payload[:len(payload)-3], &scratch, func(*Message) error { return nil })
+	if err == nil {
+		t.Fatal("truncated batch decoded cleanly")
+	}
+	if n != 3 {
+		t.Fatalf("applied %d records before the cut, want 3", n)
+	}
+}
+
+// TestCoalescerIsIdentityTransport: the coalescer must deliver exactly
+// the messages added, in order, with identical values — batching is a
+// transport optimization, never a semantic change.
+func TestCoalescerIsIdentityTransport(t *testing.T) {
+	want := batchMessages(50)
+	var got []Message
+	c := NewCoalescer(func(m *Message) {
+		cp := *m
+		cp.Value = append([]float64(nil), m.Value...)
+		got = append(got, cp)
+	}, 8, 0) // auto-flush every 8 messages
+	for _, w := range want {
+		m := GetMessage()
+		m.Kind, m.StreamID, m.Tick, m.Trace = w.Kind, w.StreamID, w.Tick, w.Trace
+		m.Value = append(m.Value[:0], w.Value...)
+		if err := c.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	c.Flush() // idempotent on empty batch
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Kind != w.Kind || g.StreamID != w.StreamID || g.Tick != w.Tick || g.Trace != w.Trace {
+			t.Fatalf("message %d: got %+v want %+v", i, g, *w)
+		}
+		for j := range w.Value {
+			if math.Float64bits(g.Value[j]) != math.Float64bits(w.Value[j]) {
+				t.Fatalf("message %d value %d: %g want %g", i, j, g.Value[j], w.Value[j])
+			}
+		}
+	}
+	flushes, messages := c.Stats()
+	if messages != int64(len(want)) {
+		t.Fatalf("stats count %d messages, want %d", messages, len(want))
+	}
+	// 50 messages at 8 per auto-flush: 6 full flushes + the final partial.
+	if flushes != 7 {
+		t.Fatalf("flushes %d, want 7", flushes)
+	}
+}
+
+// TestCoalescerByteBound: the size bound must flush before the batch
+// would exceed MaxBytes, never drop or reorder.
+func TestCoalescerByteBound(t *testing.T) {
+	var delivered int
+	one := Message{Kind: KindCorrection, StreamID: "s", Tick: 1, Value: []float64{1}}
+	c := NewCoalescer(func(m *Message) { delivered++ }, 0, 3*one.EncodedSize())
+	for i := 0; i < 10; i++ {
+		m := GetMessage()
+		m.Kind, m.StreamID, m.Tick = KindCorrection, "s", int64(i)
+		m.Value = append(m.Value[:0], 1)
+		if err := c.Add(m); err != nil {
+			t.Fatal(err)
+		}
+		if c.batch.Len() > 3*one.EncodedSize() {
+			t.Fatalf("pending batch %d bytes exceeds bound %d", c.batch.Len(), 3*one.EncodedSize())
+		}
+	}
+	c.Flush()
+	if delivered != 10 {
+		t.Fatalf("delivered %d, want 10", delivered)
+	}
+}
+
+// TestMessagePoolConcurrent hammers the message pool from many
+// goroutines, each running encode→batch→decode round trips on pooled
+// messages. Run under -race this is the satellite's proof that the
+// pooled-message harness loops (E2/E8) share the pool safely.
+func TestMessagePoolConcurrent(t *testing.T) {
+	const workers = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var b Batch
+			var scratch Message
+			for r := 0; r < rounds; r++ {
+				b.Reset()
+				for i := 0; i < 4; i++ {
+					m := GetMessage()
+					m.Kind = KindCorrection
+					m.StreamID = fmt.Sprintf("w%d", w)
+					m.Tick = int64(r*4 + i)
+					m.Value = append(m.Value[:0], float64(w), float64(r))
+					if err := b.Add(m); err != nil {
+						errs <- err
+						return
+					}
+					PutMessage(m)
+				}
+				n, err := DecodeBatch(b.Bytes(), &scratch, func(m *Message) error {
+					if m.StreamID != fmt.Sprintf("w%d", w) || len(m.Value) != 2 || m.Value[0] != float64(w) {
+						return fmt.Errorf("worker %d: cross-goroutine corruption: %+v", w, m)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != 4 {
+					errs <- fmt.Errorf("worker %d: decoded %d", w, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

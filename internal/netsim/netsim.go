@@ -136,16 +136,14 @@ func (m *Message) Encode() ([]byte, error) {
 	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
 }
 
-// DecodeInto parses a message produced by Encode into m, reusing m's
-// storage where possible: the Value slice is reused when its capacity
-// suffices, and the StreamID string is kept when the bytes are unchanged
-// (the overwhelmingly common case — one decoder per connection or link
-// sees the same stream repeatedly). Decoding a steady stream of
-// corrections into the same Message therefore does not allocate. On error
-// m is left in an unspecified state.
-func DecodeInto(m *Message, buf []byte) error {
+// DecodeNext parses one message from the front of buf into m and returns
+// the unconsumed remainder. The encoding is self-delimiting, so a batch
+// of concatenated AppendEncode outputs decodes by calling DecodeNext in a
+// loop — the coalesced wire frame's zero-copy dispatch path. Storage
+// reuse matches DecodeInto. On error m is left in an unspecified state.
+func DecodeNext(m *Message, buf []byte) ([]byte, error) {
 	if len(buf) < 3 {
-		return fmt.Errorf("netsim: message truncated (%d bytes)", len(buf))
+		return nil, fmt.Errorf("netsim: message truncated (%d bytes)", len(buf))
 	}
 	kind := buf[0]
 	traced := kind&tracedFlag != 0
@@ -153,30 +151,30 @@ func DecodeInto(m *Message, buf []byte) error {
 	switch m.Kind {
 	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync, KindResyncRequest:
 	default:
-		return fmt.Errorf("netsim: unknown message kind %d", buf[0])
+		return nil, fmt.Errorf("netsim: unknown message kind %d", buf[0])
 	}
 	buf = buf[1:]
 	m.Trace = 0
 	if traced {
 		if len(buf) < 8 {
-			return fmt.Errorf("netsim: traced message truncated")
+			return nil, fmt.Errorf("netsim: traced message truncated")
 		}
 		m.Trace = binary.BigEndian.Uint64(buf[:8])
 		if m.Trace == 0 {
 			// The flag without an ID would make the encoding ambiguous
 			// (two byte strings for one message); reject it so every
 			// accepted message has exactly one canonical form.
-			return fmt.Errorf("netsim: traced message with zero trace id")
+			return nil, fmt.Errorf("netsim: traced message with zero trace id")
 		}
 		buf = buf[8:]
 	}
 	if len(buf) < 2 {
-		return fmt.Errorf("netsim: message truncated (no id length)")
+		return nil, fmt.Errorf("netsim: message truncated (no id length)")
 	}
 	idLen := int(binary.BigEndian.Uint16(buf[:2]))
 	rest := buf[2:]
 	if len(rest) < idLen+8+2 {
-		return fmt.Errorf("netsim: message truncated after header")
+		return nil, fmt.Errorf("netsim: message truncated after header")
 	}
 	// string([]byte) == string compares without converting, so the id
 	// allocates only when it actually changed.
@@ -187,8 +185,8 @@ func DecodeInto(m *Message, buf []byte) error {
 	m.Tick = int64(binary.BigEndian.Uint64(rest[:8]))
 	valLen := int(binary.BigEndian.Uint16(rest[8:10]))
 	rest = rest[10:]
-	if len(rest) != 8*valLen {
-		return fmt.Errorf("netsim: message has %d value bytes, want %d", len(rest), 8*valLen)
+	if len(rest) < 8*valLen {
+		return nil, fmt.Errorf("netsim: message has %d value bytes, want %d", len(rest), 8*valLen)
 	}
 	if cap(m.Value) >= valLen {
 		m.Value = m.Value[:valLen]
@@ -197,10 +195,28 @@ func DecodeInto(m *Message, buf []byte) error {
 	}
 	if valLen == 0 {
 		m.Value = nil
-		return nil
+		return rest, nil
 	}
 	for i := range m.Value {
 		m.Value[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
+	}
+	return rest[8*valLen:], nil
+}
+
+// DecodeInto parses a message produced by Encode into m, reusing m's
+// storage where possible: the Value slice is reused when its capacity
+// suffices, and the StreamID string is kept when the bytes are unchanged
+// (the overwhelmingly common case — one decoder per connection or link
+// sees the same stream repeatedly). Decoding a steady stream of
+// corrections into the same Message therefore does not allocate. On error
+// m is left in an unspecified state.
+func DecodeInto(m *Message, buf []byte) error {
+	rest, err := DecodeNext(m, buf)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("netsim: %d trailing bytes after message", len(rest))
 	}
 	return nil
 }
@@ -212,6 +228,45 @@ func Decode(buf []byte) (*Message, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Clone returns a deep copy of the message (the Value slice is copied).
+func (m *Message) Clone() *Message {
+	c := GetMessage()
+	c.Kind = m.Kind
+	c.StreamID = m.StreamID
+	c.Tick = m.Tick
+	c.Value = append(c.Value[:0], m.Value...)
+	c.Trace = m.Trace
+	return c
+}
+
+// msgPool recycles Messages across the send path. Ownership is
+// transfer-on-delivery: the sender constructs a message with GetMessage
+// and hands it to the link; whoever finally receives it may return it
+// with PutMessage once every field has been consumed (the server replica
+// copies what it keeps). Receivers that do not participate simply leave
+// messages to the garbage collector — the pool is an optimization, never
+// a correctness requirement.
+var msgPool = sync.Pool{
+	New: func() any { return &Message{} },
+}
+
+// GetMessage returns a pooled message with zero-length Value and all
+// other fields cleared.
+func GetMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// PutMessage returns a message to the pool. The caller must not retain
+// the message or any slice of its Value afterwards.
+func PutMessage(m *Message) {
+	m.Kind = 0
+	m.StreamID = ""
+	m.Tick = 0
+	m.Value = m.Value[:0]
+	m.Trace = 0
+	msgPool.Put(m)
 }
 
 // bufPool recycles encode buffers across sends; 128 bytes covers any
@@ -414,9 +469,20 @@ func (l *Link) Send(m *Message) {
 		}
 		return
 	}
+	// The duplicate must be a deep copy taken *before* the first
+	// delivery: a pooled message may be recycled by its receiver the
+	// moment transmit hands it over, and the duplicate's receiver later
+	// owns (and may recycle) its copy independently. The RNG draw stays
+	// after the first transmit so impairment sequences are unchanged.
+	var dup *Message
+	if l.dup > 0 {
+		dup = m.Clone()
+	}
 	l.transmit(m, traced)
-	if l.dup > 0 && l.rng.Float64() < l.dup {
-		l.transmit(m, traced)
+	if dup != nil && l.rng.Float64() < l.dup {
+		l.transmit(dup, traced)
+	} else if dup != nil {
+		PutMessage(dup)
 	}
 }
 

@@ -45,6 +45,17 @@ type Predictor interface {
 	Correct(z []float64) error
 }
 
+// IntoPredictor is implemented by predictors whose prediction can be
+// computed into a caller-provided buffer. Hot loops (the per-tick source
+// gate) use it to avoid one slice allocation per stream-tick; Predict
+// remains the general contract and IntoPredictor is strictly an
+// optimization — both must return identical values.
+type IntoPredictor interface {
+	// PredictInto writes the current prediction into dst, which must
+	// have length Dim, and returns dst.
+	PredictInto(dst []float64) []float64
+}
+
 // Uncertainty is implemented by predictors that can quantify their own
 // predictive spread, enabling probabilistic query answers on top of the
 // hard δ bound. Model-free baselines (static cache, dead reckoning, EWMA)
@@ -71,6 +82,12 @@ type Snapshotter interface {
 var (
 	_ Uncertainty = (*Kalman)(nil)
 	_ Uncertainty = (*KalmanBank)(nil)
+
+	_ IntoPredictor = (*Static)(nil)
+	_ IntoPredictor = (*DeadReckoning)(nil)
+	_ IntoPredictor = (*EWMA)(nil)
+	_ IntoPredictor = (*Holt)(nil)
+	_ IntoPredictor = (*Kalman)(nil)
 
 	_ Snapshotter = (*Static)(nil)
 	_ Snapshotter = (*DeadReckoning)(nil)
@@ -104,6 +121,12 @@ func (s *Static) Step() {}
 
 // Predict implements Predictor.
 func (s *Static) Predict() []float64 { return mat.VecClone(s.last) }
+
+// PredictInto implements IntoPredictor.
+func (s *Static) PredictInto(dst []float64) []float64 {
+	copy(dst, s.last)
+	return dst
+}
 
 // Correct implements Predictor.
 func (s *Static) Correct(z []float64) error {
@@ -145,11 +168,15 @@ func (d *DeadReckoning) Step() { d.sinceTicks++ }
 
 // Predict implements Predictor.
 func (d *DeadReckoning) Predict() []float64 {
-	out := make([]float64, d.dim)
-	for i := range out {
-		out[i] = d.last[i] + d.slope[i]*float64(d.sinceTicks)
+	return d.PredictInto(make([]float64, d.dim))
+}
+
+// PredictInto implements IntoPredictor.
+func (d *DeadReckoning) PredictInto(dst []float64) []float64 {
+	for i := range dst {
+		dst[i] = d.last[i] + d.slope[i]*float64(d.sinceTicks)
 	}
-	return out
+	return dst
 }
 
 // Correct implements Predictor.
@@ -198,6 +225,12 @@ func (e *EWMA) Step() {}
 
 // Predict implements Predictor.
 func (e *EWMA) Predict() []float64 { return mat.VecClone(e.level) }
+
+// PredictInto implements IntoPredictor.
+func (e *EWMA) PredictInto(dst []float64) []float64 {
+	copy(dst, e.level)
+	return dst
+}
 
 // Correct implements Predictor.
 func (e *EWMA) Correct(z []float64) error {
@@ -258,11 +291,15 @@ func (h *Holt) Step() { h.sinceTicks++ }
 
 // Predict implements Predictor.
 func (h *Holt) Predict() []float64 {
-	out := make([]float64, h.dim)
-	for i := range out {
-		out[i] = h.level[i] + h.trend[i]*float64(h.sinceTicks)
+	return h.PredictInto(make([]float64, h.dim))
+}
+
+// PredictInto implements IntoPredictor.
+func (h *Holt) PredictInto(dst []float64) []float64 {
+	for i := range dst {
+		dst[i] = h.level[i] + h.trend[i]*float64(h.sinceTicks)
 	}
-	return out
+	return dst
 }
 
 // Correct implements Predictor. Corrections may arrive any number of
@@ -334,6 +371,7 @@ type Kalman struct {
 	filter   *kalman.Filter
 	adaptive *kalman.Adaptive // nil when non-adaptive
 	name     string
+	dim      int // cached ObsDim; Dim() is called every stream-tick
 }
 
 // NewKalman returns a predictor over the given model, starting from a
@@ -344,7 +382,7 @@ func NewKalman(model *kalman.Model) (*Kalman, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Kalman{filter: f, name: "kalman-" + model.Name}, nil
+	return &Kalman{filter: f, name: "kalman-" + model.Name, dim: model.ObsDim()}, nil
 }
 
 // NewAdaptiveKalman returns a Kalman predictor with innovation-driven
@@ -366,8 +404,10 @@ func NewAdaptiveKalman(model *kalman.Model, cfg kalman.AdaptiveConfig) (*Kalman,
 // Name implements Predictor.
 func (k *Kalman) Name() string { return k.name }
 
-// Dim implements Predictor.
-func (k *Kalman) Dim() int { return k.filter.Model().ObsDim() }
+// Dim implements Predictor. The dimension is cached at construction:
+// the old filter.Model().ObsDim() path deep-copied four matrices per
+// call and was the top allocation site of the whole E8 budget sweep.
+func (k *Kalman) Dim() int { return k.dim }
 
 // Step implements Predictor.
 func (k *Kalman) Step() {
@@ -380,6 +420,11 @@ func (k *Kalman) Step() {
 
 // Predict implements Predictor.
 func (k *Kalman) Predict() []float64 { return k.filter.Observation() }
+
+// PredictInto implements IntoPredictor.
+func (k *Kalman) PredictInto(dst []float64) []float64 {
+	return k.filter.ObservationInto(dst)
+}
 
 // Correct implements Predictor.
 func (k *Kalman) Correct(z []float64) error {

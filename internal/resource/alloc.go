@@ -69,6 +69,43 @@ type Allocator interface {
 	Allocate(windows []StreamWindow, budgetPerTick float64) []float64
 }
 
+// IntoAllocator is implemented by allocators that can write allocations
+// into a caller-provided buffer of length len(windows), so a steady-state
+// reallocation round performs no heap allocation. Allocate and
+// AllocateInto must produce identical values.
+type IntoAllocator interface {
+	AllocateInto(out []float64, windows []StreamWindow, budgetPerTick float64) []float64
+}
+
+// TermStats is implemented by incremental allocators; it reports how
+// many per-stream terms were recomputed versus served from cache across
+// all rounds so far — the coordinator surfaces the split as the
+// incremental-skip telemetry counters.
+type TermStats interface {
+	TermStats() (recomputed, reused int64)
+}
+
+var (
+	_ IntoAllocator = Uniform{}
+	_ IntoAllocator = FairShare{}
+	_ IntoAllocator = WaterFilling{}
+	_ IntoAllocator = AIMD{}
+	_ IntoAllocator = (*IncrementalWaterFilling)(nil)
+	_ IntoAllocator = (*IncrementalFairShare)(nil)
+	_ TermStats     = (*IncrementalWaterFilling)(nil)
+	_ TermStats     = (*IncrementalFairShare)(nil)
+)
+
+// zeroFill zeroes out and returns it — the empty-input/zero-budget
+// result, written explicitly because a reused scratch buffer may hold a
+// previous round's allocations.
+func zeroFill(out []float64) []float64 {
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
 // EstimateCost updates a smoothed estimate of cᵢ = rateᵢ·δᵢ² from one
 // window. A floor of half a message per window keeps streams that sent
 // nothing (fully predictable right now) from collapsing to c=0 and being
@@ -97,10 +134,14 @@ type Uniform struct{}
 func (Uniform) Name() string { return "uniform" }
 
 // Allocate implements Allocator.
-func (Uniform) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
-	out := make([]float64, len(windows))
+func (u Uniform) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	return u.AllocateInto(make([]float64, len(windows)), windows, budgetPerTick)
+}
+
+// AllocateInto implements IntoAllocator.
+func (Uniform) AllocateInto(out []float64, windows []StreamWindow, budgetPerTick float64) []float64 {
 	if len(windows) == 0 || budgetPerTick <= 0 {
-		return out
+		return zeroFill(out)
 	}
 	var totalC float64
 	for _, w := range windows {
@@ -122,10 +163,14 @@ type FairShare struct{}
 func (FairShare) Name() string { return "fair-share" }
 
 // Allocate implements Allocator.
-func (FairShare) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
-	out := make([]float64, len(windows))
+func (f FairShare) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	return f.AllocateInto(make([]float64, len(windows)), windows, budgetPerTick)
+}
+
+// AllocateInto implements IntoAllocator.
+func (FairShare) AllocateInto(out []float64, windows []StreamWindow, budgetPerTick float64) []float64 {
 	if len(windows) == 0 || budgetPerTick <= 0 {
-		return out
+		return zeroFill(out)
 	}
 	share := budgetPerTick / float64(len(windows))
 	for i, w := range windows {
@@ -143,10 +188,14 @@ type WaterFilling struct{}
 func (WaterFilling) Name() string { return "water-filling" }
 
 // Allocate implements Allocator.
-func (WaterFilling) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
-	out := make([]float64, len(windows))
+func (wf WaterFilling) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	return wf.AllocateInto(make([]float64, len(windows)), windows, budgetPerTick)
+}
+
+// AllocateInto implements IntoAllocator.
+func (WaterFilling) AllocateInto(out []float64, windows []StreamWindow, budgetPerTick float64) []float64 {
 	if len(windows) == 0 || budgetPerTick <= 0 {
-		return out
+		return zeroFill(out)
 	}
 	// Σ cᵢ/(s²(cᵢ/wᵢ)^⅔) = B  ⇒  s = √(Σ cᵢ^⅓·wᵢ^⅔ / B).
 	var acc float64
@@ -187,6 +236,11 @@ func (AIMD) Name() string { return "aimd" }
 
 // Allocate implements Allocator.
 func (a AIMD) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 {
+	return a.AllocateInto(make([]float64, len(windows)), windows, budgetPerTick)
+}
+
+// AllocateInto implements IntoAllocator.
+func (a AIMD) AllocateInto(out []float64, windows []StreamWindow, budgetPerTick float64) []float64 {
 	inc := a.Increase
 	if inc <= 1 {
 		inc = 1.5
@@ -195,9 +249,8 @@ func (a AIMD) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 
 	if dec <= 0 || dec >= 1 {
 		dec = 0.95
 	}
-	out := make([]float64, len(windows))
 	if len(windows) == 0 || budgetPerTick <= 0 {
-		return out
+		return zeroFill(out)
 	}
 	share := budgetPerTick / float64(len(windows))
 	for i, w := range windows {
@@ -215,15 +268,18 @@ func (a AIMD) Allocate(windows []StreamWindow, budgetPerTick float64) []float64 
 	return out
 }
 
-// ByName returns the allocator with the given name.
+// ByName returns the allocator with the given name. For the model-based
+// allocators it returns the incremental variants, which are proven
+// byte-identical to the from-scratch solvers (see incremental.go) and
+// amortize the per-round transcendental work.
 func ByName(name string) (Allocator, error) {
 	switch name {
 	case "uniform":
 		return Uniform{}, nil
 	case "fair-share":
-		return FairShare{}, nil
+		return NewIncrementalFairShare(), nil
 	case "water-filling":
-		return WaterFilling{}, nil
+		return NewIncrementalWaterFilling(), nil
 	case "aimd":
 		return AIMD{}, nil
 	default:

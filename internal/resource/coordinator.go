@@ -30,6 +30,8 @@ type managed struct {
 // sends them through the provided downlink so their cost is accounted.
 type Coordinator struct {
 	alloc         Allocator
+	intoAlloc     IntoAllocator // non-nil when alloc supports AllocateInto
+	termStats     TermStats     // non-nil when alloc reports cache stats
 	srv           *server.Server
 	budgetPerTick float64
 	period        int64
@@ -39,10 +41,21 @@ type Coordinator struct {
 	tick          int64
 	rounds        int64
 
+	// Scratch buffers reused across reallocation rounds so a steady-state
+	// round performs zero heap allocations (asserted by AllocsPerRun in
+	// the package tests).
+	winScratch   []StreamWindow
+	deltaScratch []float64
+	// Last reported TermStats totals, for computing per-round deltas.
+	lastRecomputed int64
+	lastReused     int64
+
 	telRounds       *telemetry.Counter
 	telDeltaUpdates *telemetry.Counter
 	telUtilization  *telemetry.Gauge
 	telBudget       *telemetry.Gauge
+	telRecomputed   *telemetry.Counter
+	telReused       *telemetry.Counter
 }
 
 // CoordinatorConfig configures a Coordinator.
@@ -96,6 +109,14 @@ func NewCoordinator(alloc Allocator, srv *server.Server, cfg CoordinatorConfig) 
 		telDeltaUpdates: reg.Counter("coordinator_delta_updates_total"),
 		telUtilization:  reg.Gauge("coordinator_budget_utilization"),
 		telBudget:       reg.Gauge("coordinator_budget_per_tick"),
+		telRecomputed:   reg.Counter("coordinator_terms_recomputed_total"),
+		telReused:       reg.Counter("coordinator_terms_reused_total"),
+	}
+	if into, ok := alloc.(IntoAllocator); ok {
+		c.intoAlloc = into
+	}
+	if ts, ok := alloc.(TermStats); ok {
+		c.termStats = ts
 	}
 	c.telBudget.Set(cfg.BudgetPerTick)
 	return c, nil
@@ -134,7 +155,14 @@ func (c *Coordinator) Tick() error {
 }
 
 func (c *Coordinator) reallocate() error {
-	windows := make([]StreamWindow, len(c.streams))
+	// The window and delta buffers are scratch reused round to round —
+	// growing only when streams were added — so steady state allocates
+	// nothing.
+	if cap(c.winScratch) < len(c.streams) {
+		c.winScratch = make([]StreamWindow, len(c.streams))
+		c.deltaScratch = make([]float64, len(c.streams))
+	}
+	windows := c.winScratch[:len(c.streams)]
 	var windowMsgs int64
 	for i, m := range c.streams {
 		sent := m.src.Stats().Sent
@@ -156,7 +184,12 @@ func (c *Coordinator) reallocate() error {
 	// Utilization of the window that just closed: observed messages per
 	// tick over the budgeted rate.
 	c.telUtilization.Set(float64(windowMsgs) / (c.budgetPerTick * float64(c.period)))
-	deltas := c.alloc.Allocate(windows, c.budgetPerTick)
+	var deltas []float64
+	if c.intoAlloc != nil {
+		deltas = c.intoAlloc.AllocateInto(c.deltaScratch[:len(windows)], windows, c.budgetPerTick)
+	} else {
+		deltas = c.alloc.Allocate(windows, c.budgetPerTick)
+	}
 	if len(deltas) != len(windows) {
 		return fmt.Errorf("resource: allocator %s returned %d deltas for %d streams",
 			c.alloc.Name(), len(deltas), len(windows))
@@ -174,13 +207,21 @@ func (c *Coordinator) reallocate() error {
 		}
 		c.telDeltaUpdates.Inc()
 		if c.downlink != nil {
-			c.downlink(&netsim.Message{
-				Kind:     netsim.KindDeltaUpdate,
-				StreamID: m.src.StreamID(),
-				Tick:     c.tick,
-				Value:    []float64{newDelta},
-			})
+			// Pooled like every other protocol message: the receiver owns
+			// the delivered message and may recycle it.
+			msg := netsim.GetMessage()
+			msg.Kind = netsim.KindDeltaUpdate
+			msg.StreamID = m.src.StreamID()
+			msg.Tick = c.tick
+			msg.Value = append(msg.Value[:0], newDelta)
+			c.downlink(msg)
 		}
+	}
+	if c.termStats != nil {
+		recomputed, reused := c.termStats.TermStats()
+		c.telRecomputed.Add(recomputed - c.lastRecomputed)
+		c.telReused.Add(reused - c.lastReused)
+		c.lastRecomputed, c.lastReused = recomputed, reused
 	}
 	c.rounds++
 	c.telRounds.Inc()

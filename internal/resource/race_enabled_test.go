@@ -1,0 +1,9 @@
+//go:build race
+
+package resource
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc assertions skip under -race: sync.Pool deliberately drops
+// a fraction of Puts when racing (to widen interleaving coverage), so
+// pooled paths allocate there by design, not by regression.
+const raceEnabled = true

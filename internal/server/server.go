@@ -109,6 +109,10 @@ type streamState struct {
 type shard struct {
 	mu      sync.RWMutex
 	streams map[string]*streamState
+	// order holds the same streams in registration order: the per-tick
+	// loop walks this slice instead of ranging the map, which is both
+	// cheaper and deterministic.
+	order []*streamState
 	// size mirrors len(streams) so Tick can skip empty shards without
 	// taking their locks (len of a map is not safe to read concurrently
 	// with writes).
@@ -231,6 +235,7 @@ func (s *Server) Register(id string, spec predictor.Spec, delta float64) error {
 		return fmt.Errorf("server: stream %q already registered", id)
 	}
 	sh.streams[id] = st
+	sh.order = append(sh.order, st)
 	sh.size.Store(int64(len(sh.streams)))
 	return nil
 }
@@ -244,6 +249,12 @@ func (s *Server) Unregister(id string) error {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
 	}
 	delete(sh.streams, id)
+	for i, st := range sh.order {
+		if st.id == id {
+			sh.order = append(sh.order[:i], sh.order[i+1:]...)
+			break
+		}
+	}
 	sh.size.Store(int64(len(sh.streams)))
 	return nil
 }
@@ -267,7 +278,7 @@ func (s *Server) TickShard(i int) {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, st := range sh.streams {
+	for _, st := range sh.order {
 		st.archive()
 		st.replica.Step()
 		st.tick++

@@ -16,7 +16,6 @@ import (
 	"math"
 	"sync/atomic"
 
-	"kalmanstream/internal/mat"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/telemetry"
@@ -140,6 +139,13 @@ type Source struct {
 
 	run int64 // consecutive suppressed ticks (Observe-goroutine only)
 
+	// Per-tick fast-path state (Observe-goroutine only). dim caches
+	// replica.Dim(); predScratch is reused every tick when the replica
+	// supports PredictInto, making the suppressed path allocation-free.
+	dim         int
+	intoReplica predictor.IntoPredictor // nil when unsupported
+	predScratch []float64
+
 	// resyncRequested is set by the server's staleness watchdog (via the
 	// feedback channel) or a reconnecting transport; the next Observe
 	// answers with a full-snapshot resync, bypassing the gate. Atomic:
@@ -196,6 +202,7 @@ func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
 		replica:       replica,
 		send:          send,
 		tr:            tr,
+		dim:           replica.Dim(),
 		telSent:           reg.Counter("corrections_sent_total", "stream", cfg.StreamID),
 		telSuppressed:     reg.Counter("corrections_suppressed_total", "stream", cfg.StreamID),
 		telHeartbeats:     reg.Counter("heartbeats_total", "stream", cfg.StreamID),
@@ -205,6 +212,10 @@ func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
 		telDelta:          reg.Gauge("stream_delta", "stream", cfg.StreamID),
 	}
 	s.telDelta.Set(cfg.Delta)
+	if into, ok := replica.(predictor.IntoPredictor); ok {
+		s.intoReplica = into
+		s.predScratch = make([]float64, s.dim)
+	}
 	return s, nil
 }
 
@@ -212,13 +223,18 @@ func New(cfg Config, send func(*netsim.Message)) (*Source, error) {
 // applies the precision gate, and ships a correction when needed. It
 // reports whether a message was sent.
 func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
-	if len(z) != s.replica.Dim() {
-		return false, fmt.Errorf("source %s: measurement dim %d, want %d", s.cfg.StreamID, len(z), s.replica.Dim())
+	if len(z) != s.dim {
+		return false, fmt.Errorf("source %s: measurement dim %d, want %d", s.cfg.StreamID, len(z), s.dim)
 	}
 	s.replica.Step()
 	s.ticks.Add(1)
 
-	pred := s.replica.Predict()
+	var pred []float64
+	if s.intoReplica != nil {
+		pred = s.intoReplica.PredictInto(s.predScratch)
+	} else {
+		pred = s.replica.Predict()
+	}
 	dev := s.cfg.DeviationNorm.Deviation(z, pred)
 	if s.cfg.Delta > 0 {
 		s.telDeviation.Observe(dev / s.cfg.Delta)
@@ -254,13 +270,14 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 	}
 	// The message owns its value: on a delayed link it sits queued after
 	// Observe returns, so aliasing the caller's measurement slice would
-	// corrupt in-flight corrections if the caller reuses its buffer.
-	msg := &netsim.Message{
-		Kind:     netsim.KindCorrection,
-		StreamID: s.cfg.StreamID,
-		Tick:     tick,
-		Value:    mat.VecClone(z),
-	}
+	// corrupt in-flight corrections if the caller reuses its buffer. The
+	// message itself comes from the shared pool; whoever receives it may
+	// recycle it with netsim.PutMessage once done.
+	msg := netsim.GetMessage()
+	msg.Kind = netsim.KindCorrection
+	msg.StreamID = s.cfg.StreamID
+	msg.Tick = tick
+	msg.Value = append(msg.Value[:0], z...)
 	outcome := trace.OutcomeSent
 	resyncDue := s.cfg.ResyncEvery > 0 && (s.sent.Load()+1)%s.cfg.ResyncEvery == 0
 	if forced || resyncDue {
@@ -271,7 +288,7 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 		// best repair it can offer.
 		if snap, ok := s.replica.(predictor.Snapshotter); ok {
 			msg.Kind = netsim.KindResync
-			msg.Value = append(mat.VecClone(z), snap.Snapshot()...)
+			msg.Value = append(msg.Value, snap.Snapshot()...)
 			s.resyncs.Add(1)
 			s.telResyncs.Inc()
 			outcome = trace.OutcomeResync

@@ -5,6 +5,17 @@ import (
 	"math/rand"
 )
 
+// Reusable is implemented by generators that can emit Points into
+// internal buffers reused across calls to Next. Callers that opt in must
+// fully consume (or copy) each Point before requesting the next one;
+// anything that retains Points — stream.Record, most visibly — must NOT
+// enable reuse. Tight benchmark/harness loops opt in to make point
+// generation allocation-free.
+type Reusable interface {
+	// ReuseBuffers makes subsequent Points share storage with each other.
+	ReuseBuffers()
+}
+
 // gen is the shared scaffolding for the synthetic generators: a name, a
 // length, a tick counter, and a seeded RNG.
 type gen struct {
@@ -13,6 +24,12 @@ type gen struct {
 	n    int64
 	tick int64
 	rng  *rand.Rand
+
+	// Opt-in emit-buffer reuse (see Reusable). The generated values are
+	// identical either way — reuse changes only Point storage lifetime.
+	reuse    bool
+	valBuf   []float64
+	truthBuf []float64
 }
 
 func newGen(name string, dim int, n int64, seed int64) gen {
@@ -22,20 +39,59 @@ func newGen(name string, dim int, n int64, seed int64) gen {
 func (g *gen) Name() string { return g.name }
 func (g *gen) Dim() int     { return g.dim }
 
+// ReuseBuffers implements Reusable.
+func (g *gen) ReuseBuffers() { g.reuse = true }
+
 // done advances the tick counter; it returns false once n points have
 // been produced.
 func (g *gen) done() bool { return g.tick >= g.n }
 
 func (g *gen) emit(truth []float64, noiseStd float64) Point {
-	value := make([]float64, len(truth))
+	var value, tr []float64
+	if g.reuse {
+		if cap(g.valBuf) < len(truth) {
+			g.valBuf = make([]float64, len(truth))
+			g.truthBuf = make([]float64, len(truth))
+		}
+		value = g.valBuf[:len(truth)]
+		tr = g.truthBuf[:len(truth)]
+	} else {
+		value = make([]float64, len(truth))
+		tr = make([]float64, len(truth))
+	}
 	for i, tv := range truth {
 		value[i] = tv
 		if noiseStd > 0 {
 			value[i] += g.rng.NormFloat64() * noiseStd
 		}
 	}
-	tr := make([]float64, len(truth))
 	copy(tr, truth)
+	p := Point{Tick: g.tick, Value: value, Truth: tr}
+	g.tick++
+	return p
+}
+
+// emitScalar is emit for one-dimensional generators: same RNG draw order
+// and same Point contents, minus the intermediate truth slice.
+func (g *gen) emitScalar(truth, noiseStd float64) Point {
+	var value, tr []float64
+	if g.reuse {
+		if cap(g.valBuf) < 1 {
+			g.valBuf = make([]float64, 1)
+			g.truthBuf = make([]float64, 1)
+		}
+		value = g.valBuf[:1]
+		tr = g.truthBuf[:1]
+	} else {
+		value = make([]float64, 1)
+		tr = make([]float64, 1)
+	}
+	v := truth
+	if noiseStd > 0 {
+		v += g.rng.NormFloat64() * noiseStd
+	}
+	value[0] = v
+	tr[0] = truth
 	p := Point{Tick: g.tick, Value: value, Truth: tr}
 	g.tick++
 	return p
@@ -68,7 +124,7 @@ func (s *RandomWalkStream) Next() (Point, bool) {
 		return Point{}, false
 	}
 	s.x += s.rng.NormFloat64() * s.stepStd
-	return s.emit([]float64{s.x}, s.noiseStd), true
+	return s.emitScalar(s.x, s.noiseStd), true
 }
 
 // LinearDriftStream ramps linearly with optional measurement noise — the
@@ -388,6 +444,10 @@ type CompositeStream struct {
 	tick    int64
 	nLimit  int64
 	stopped bool
+
+	reuse    bool
+	valBuf   []float64
+	truthBuf []float64
 }
 
 // NewComposite returns a stream whose value is the element-wise sum of the
@@ -419,13 +479,37 @@ func (s *CompositeStream) Name() string { return s.name }
 // Dim implements Stream.
 func (s *CompositeStream) Dim() int { return s.dim }
 
+// ReuseBuffers implements Reusable: the composite's own output buffers
+// are reused, and the request propagates to every Reusable part.
+func (s *CompositeStream) ReuseBuffers() {
+	s.reuse = true
+	for _, p := range s.parts {
+		if r, ok := p.(Reusable); ok {
+			r.ReuseBuffers()
+		}
+	}
+}
+
 // Next implements Stream.
 func (s *CompositeStream) Next() (Point, bool) {
 	if s.stopped || s.tick >= s.nLimit {
 		return Point{}, false
 	}
-	value := make([]float64, s.dim)
-	truth := make([]float64, s.dim)
+	var value, truth []float64
+	if s.reuse {
+		if cap(s.valBuf) < s.dim {
+			s.valBuf = make([]float64, s.dim)
+			s.truthBuf = make([]float64, s.dim)
+		}
+		value = s.valBuf[:s.dim]
+		truth = s.truthBuf[:s.dim]
+		for i := range value {
+			value[i], truth[i] = 0, 0
+		}
+	} else {
+		value = make([]float64, s.dim)
+		truth = make([]float64, s.dim)
+	}
 	for _, part := range s.parts {
 		p, ok := part.Next()
 		if !ok {

@@ -97,12 +97,11 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts observations into fixed buckets (Prometheus
 // convention: bucket i counts observations ≤ bound i, with an implicit
-// +Inf bucket). Observe is a bucket search plus three atomic updates; the
+// +Inf bucket). Observe is a bucket search plus two atomic updates; the
 // sum is accumulated via CAS so concurrent observers never lose updates.
 type Histogram struct {
 	bounds  []float64 // sorted upper bounds; implicit +Inf after the last
 	buckets []atomic.Int64
-	count   atomic.Int64
 	sumBits atomic.Uint64
 }
 
@@ -115,9 +114,18 @@ func newHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v) // smallest i with bounds[i] ≥ v
+	// Bucket counts are small (≤ ~16); a full branchless scan beats both
+	// binary search and an early-exit loop on the hot protocol paths —
+	// the comparison compiles to a flag-set with no data-dependent
+	// branch, so the loop never mispredicts. Same result as
+	// sort.SearchFloat64s: smallest i with bounds[i] ≥ v.
+	i := 0
+	for _, b := range h.bounds {
+		if b < v {
+			i++
+		}
+	}
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -127,8 +135,16 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+// Count returns the number of observations. Every observation lands in
+// exactly one raw bucket, so the total is the bucket sum — keeping a
+// separate count would cost a third atomic update on the hot path.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
@@ -196,6 +212,8 @@ var (
 	StalenessBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
 	// RatioBuckets covers deviation/δ ratios; suppressed ticks land ≤ 1.
 	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1, 1.5, 2, 5}
+	// BatchSizeBuckets covers messages carried per coalesced wire frame.
+	BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 )
 
 // series is one (name, labels) time series.

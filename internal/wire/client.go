@@ -107,6 +107,62 @@ type Client struct {
 	telReconnects *telemetry.Counter
 	telRedials    *telemetry.Counter
 	telResyncReqs *telemetry.Counter
+
+	// Write ring for coalesced corrections (armed via EnableCoalescing).
+	coalesce  bool
+	batch     netsim.Batch
+	batchCfg  CoalesceConfig
+	lastFlush time.Time
+
+	telFlushes   *telemetry.Counter
+	telCoalesced *telemetry.Counter
+}
+
+// CoalesceConfig shapes the client's correction write ring. Corrections
+// accumulate in a pending batch and ship as one FrameMessageBatch when
+// any bound trips; a batch of one degenerates to the legacy FrameMessage,
+// so a sparse stream pays no batching overhead.
+type CoalesceConfig struct {
+	// MaxCorrections flushes when this many corrections are pending
+	// (default 16).
+	MaxCorrections int
+	// MaxBytes flushes before the pending encoding would exceed this
+	// (default 4096).
+	MaxBytes int
+	// FlushTickBoundary, when set, flushes the pending batch whenever a
+	// correction arrives for a later tick than the batch holds: every
+	// frame then carries corrections from exactly one tick, keeping the
+	// server's answers as fresh as the unbatched protocol's at that
+	// granularity. Sources that share one connection and observe in
+	// lock-step coalesce a whole tick's corrections into one frame.
+	FlushTickBoundary bool
+	// FlushAfter is a wall-clock deadline: a correction arriving this
+	// long after the previous flush ships the pending batch immediately
+	// (0 = no deadline). The check rides on the send path — an idle
+	// connection holds its batch until the next correction, query, or
+	// explicit FlushCorrections.
+	FlushAfter time.Duration
+}
+
+func (c CoalesceConfig) withDefaults() CoalesceConfig {
+	if c.MaxCorrections <= 0 {
+		c.MaxCorrections = 16
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 4096
+	}
+	return c
+}
+
+// EnableCoalescing arms the correction write ring: SendCorrection
+// buffers into a pending batch that flushes on the configured size,
+// tick-boundary, and deadline bounds — and always before a query,
+// trace batch, metrics fetch, or Close, so no protocol exchange can
+// observe the server behind the corrections sent before it.
+func (c *Client) EnableCoalescing(cfg CoalesceConfig) {
+	c.coalesce = true
+	c.batchCfg = cfg.withDefaults()
+	c.lastFlush = time.Now()
 }
 
 // Dial connects to a wire server with no reconnect policy.
@@ -157,15 +213,25 @@ func (c *Client) initTelemetry() {
 	c.telReconnects = telemetry.Default.Counter("wire_client_reconnects_total")
 	c.telRedials = telemetry.Default.Counter("wire_client_redials_total")
 	c.telResyncReqs = telemetry.Default.Counter("wire_client_resync_requests_total")
+	c.telFlushes = telemetry.Default.Counter("wire_client_batch_flushes_total")
+	c.telCoalesced = telemetry.Default.Counter("wire_client_corrections_coalesced_total")
 }
 
-// Close closes the connection and disables further reconnection.
+// Close flushes any pending coalesced corrections, closes the
+// connection, and disables further reconnection.
 func (c *Client) Close() error {
+	var flushErr error
+	if c.conn != nil {
+		flushErr = c.FlushCorrections()
+	}
 	c.closed = true
 	if c.conn == nil {
-		return nil
+		return flushErr
 	}
-	return c.conn.Close()
+	if err := c.conn.Close(); err != nil {
+		return err
+	}
+	return flushErr
 }
 
 // Reconnects reports how many times the client has successfully
@@ -411,7 +477,15 @@ func (c *Client) Register(id string, spec predictor.Spec, delta float64) error {
 // performs no allocations. On a reconnecting client a flush failure
 // redials and re-sends; the server's monotonic-tick guard discards the
 // copy if the original did arrive.
+//
+// With coalescing enabled the correction lands in the write ring
+// instead and ships with the next flush; the message is fully encoded
+// before SendCorrection returns either way, so the caller may recycle m
+// immediately.
 func (c *Client) SendCorrection(m *netsim.Message) error {
+	if c.coalesce {
+		return c.sendCoalesced(m)
+	}
 	bp := netsim.GetBuffer()
 	defer netsim.PutBuffer(bp)
 	buf, err := m.AppendEncode(*bp)
@@ -427,8 +501,74 @@ func (c *Client) SendCorrection(m *netsim.Message) error {
 	})
 }
 
-// Query asks for a stream's value as of tick.
+// sendCoalesced adds m to the write ring, flushing first when the
+// tick-boundary or deadline policy demands it and after when a size
+// bound trips.
+func (c *Client) sendCoalesced(m *netsim.Message) error {
+	if c.batch.Count() > 0 {
+		boundary := c.batchCfg.FlushTickBoundary && m.Tick != c.batch.LastTick()
+		overdue := c.batchCfg.FlushAfter > 0 && time.Since(c.lastFlush) >= c.batchCfg.FlushAfter
+		if boundary || overdue {
+			if err := c.FlushCorrections(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.batch.Add(m); err != nil {
+		return err
+	}
+	if c.batch.Count() >= c.batchCfg.MaxCorrections || c.batch.Len() >= c.batchCfg.MaxBytes {
+		return c.FlushCorrections()
+	}
+	return nil
+}
+
+// FlushCorrections ships the pending coalesced batch, if any: one
+// FrameMessageBatch for several corrections, the legacy FrameMessage
+// when only one is pending (a batch of one is byte-identical to a
+// single message encoding, so old servers still interoperate with a
+// sparse coalescing client). On transport failure the batch stays
+// pending — a redial retry re-sends it whole, and the server's
+// monotonic-tick guard drops any corrections that did land the first
+// time.
+func (c *Client) FlushCorrections() error {
+	n := c.batch.Count()
+	if n == 0 {
+		return nil
+	}
+	typ := FrameMessage
+	if n > 1 {
+		typ = FrameMessageBatch
+	}
+	buf := c.batch.Bytes()
+	if err := c.withRetry(func() error {
+		if err := WriteFrame(c.bw, typ, buf); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}); err != nil {
+		return err
+	}
+	c.batch.Reset()
+	c.lastFlush = time.Now()
+	c.telFlushes.Inc()
+	c.telCoalesced.Add(int64(n))
+	return nil
+}
+
+// PendingCorrections returns how many corrections sit in the write ring
+// awaiting a flush.
+func (c *Client) PendingCorrections() int { return c.batch.Count() }
+
+// Query asks for a stream's value as of tick. Pending coalesced
+// corrections flush first: a query must never observe the server behind
+// corrections sent before it (the server lazily advances replicas to
+// the queried tick, and a correction arriving after that advance for an
+// earlier tick would apply against the wrong state).
 func (c *Client) Query(id string, tick int64) (AnswerPayload, error) {
+	if err := c.FlushCorrections(); err != nil {
+		return AnswerPayload{}, err
+	}
 	buf, err := json.Marshal(QueryPayload{ID: id, Tick: tick})
 	if err != nil {
 		return AnswerPayload{}, err
@@ -462,6 +602,12 @@ func (c *Client) SendTrace(evs []trace.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
+	// Gate events describe corrections that may still sit in the write
+	// ring; flush them first so the server's auditor never sees a trace
+	// for a correction it has not applied.
+	if err := c.FlushCorrections(); err != nil {
+		return err
+	}
 	buf, err := json.Marshal(evs)
 	if err != nil {
 		return err
@@ -476,7 +622,12 @@ func (c *Client) SendTrace(evs []trace.Event) error {
 
 // Metrics fetches the server's telemetry snapshot as Prometheus text —
 // the wire-native way to observe a server with no HTTP listener.
+// Pending coalesced corrections flush first so the snapshot reflects
+// everything sent before it.
 func (c *Client) Metrics() (string, error) {
+	if err := c.FlushCorrections(); err != nil {
+		return "", err
+	}
 	var text string
 	err := c.withRetry(func() error {
 		if err := WriteFrame(c.bw, FrameMetrics, nil); err != nil {
@@ -563,6 +714,9 @@ func NewNetworkedSource(client *Client, cfg source.Config) (*NetworkedSource, er
 		if err := client.SendCorrection(m); err != nil && ns.sendErr == nil {
 			ns.sendErr = err
 		}
+		// SendCorrection encoded m (into the frame or the write ring)
+		// before returning, so the pooled message can be recycled here.
+		netsim.PutMessage(m)
 	})
 	if err != nil {
 		return nil, err

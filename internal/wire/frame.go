@@ -57,6 +57,14 @@ const (
 	// so clients must tolerate it at any read point (Client.expect skips
 	// and dispatches it; Client.PollFeedback drains between queries).
 	FrameResyncRequest
+	// FrameMessageBatch carries several concatenated netsim binary
+	// messages in one frame (client → server). The encoding is
+	// self-delimiting, so the batch payload is simply each message's
+	// encoding back to back; the server decodes sub-records in place and
+	// applies the whole batch under one lock acquisition. A coalescing
+	// client amortizes the 5-byte frame header, the syscall, and the
+	// server's lock over every correction in the batch.
+	FrameMessageBatch
 )
 
 // FrameName returns a short human-readable name for a frame type, used
@@ -83,6 +91,8 @@ func FrameName(typ uint8) string {
 		return "trace"
 	case FrameResyncRequest:
 		return "resync-request"
+	case FrameMessageBatch:
+		return "message-batch"
 	default:
 		return fmt.Sprintf("unknown(%d)", typ)
 	}

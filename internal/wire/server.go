@@ -130,7 +130,10 @@ type Server struct {
 	// frame type so the read loop observes without a registry lookup or
 	// label allocation. Only client→server kinds are populated; the rest
 	// stay nil and the loop skips them.
-	telFrame [FrameResyncRequest + 1]*telemetry.Histogram
+	telFrame [FrameMessageBatch + 1]*telemetry.Histogram
+
+	telBatches     *telemetry.Counter
+	telBatchedMsgs *telemetry.Histogram
 
 	monitor *health.Monitor
 	diag    *diag.Recorder
@@ -208,11 +211,15 @@ func NewServerWith(opts Options) *Server {
 		telStaleTotal:  reg.Counter("watchdog_stale_total"),
 		telResyncReqs:  reg.Counter("watchdog_resync_requests_total"),
 	}
-	for _, typ := range []uint8{FrameRegister, FrameMessage, FrameQuery, FrameMetrics, FrameTrace} {
+	s.telBatches = reg.Counter("wire_frames_coalesced_total")
+	s.telBatchedMsgs = reg.Histogram("wire_corrections_per_frame", telemetry.BatchSizeBuckets)
+	for _, typ := range []uint8{FrameRegister, FrameMessage, FrameQuery, FrameMetrics, FrameTrace, FrameMessageBatch} {
 		s.telFrame[typ] = reg.Histogram("wire_frame_handle_seconds",
 			telemetry.LatencyBuckets, "kind", FrameName(typ))
 	}
 	reg.Help("wire_frame_handle_seconds", "inbound frame handling latency by frame kind")
+	reg.Help("wire_frames_coalesced_total", "batched correction frames received")
+	reg.Help("wire_corrections_per_frame", "messages carried per coalesced frame")
 	reg.Help("corrections_sent_total", "corrections applied per stream")
 	reg.Help("corrections_suppressed_total", "replica ticks advanced without a correction, per stream")
 	reg.Help("wire_bytes_total", "bytes on the wire by direction")
@@ -564,6 +571,12 @@ func (s *Server) noteTraffic(id string) {
 func (s *Server) Apply(m *netsim.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyLocked(m)
+}
+
+// applyLocked is Apply's body; the caller holds mu. Batch ingestion
+// loops over it so the lock is taken once per frame, not per correction.
+func (s *Server) applyLocked(m *netsim.Message) error {
 	if h := s.health[m.StreamID]; h != nil {
 		if m.Tick <= h.lastTick {
 			s.reg.Counter("wire_duplicates_dropped_total", "stream", m.StreamID).Inc()
@@ -588,6 +601,36 @@ func (s *Server) Apply(m *netsim.Message) error {
 		}
 	}
 	return nil
+}
+
+// ApplyBatch ingests one coalesced frame payload: concatenated netsim
+// message encodings, decoded in place into scratch and applied under a
+// single lock acquisition. It returns how many messages were applied.
+// A decode or apply error aborts the rest of the batch; everything
+// before the failure stays applied, which matches the semantics of the
+// same messages arriving as individual frames on a link that then died.
+func (s *Server) ApplyBatch(payload []byte, scratch *netsim.Message) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	rest := payload
+	for len(rest) > 0 {
+		recLen := len(rest)
+		var err error
+		rest, err = netsim.DecodeNext(scratch, rest)
+		if err != nil {
+			return n, fmt.Errorf("wire: batch record %d: %w", n, err)
+		}
+		recLen -= len(rest)
+		if err := s.applyLocked(scratch); err != nil {
+			return n, fmt.Errorf("wire: batch record %d: %w", n, err)
+		}
+		if s.diag != nil && scratch.Kind == netsim.KindCorrection {
+			s.diag.ObserveCorrection(scratch.StreamID, recLen)
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Query answers a stream's value as of the given tick.
@@ -732,6 +775,16 @@ func (s *Server) route(cw *connWriter, typ uint8, payload []byte, msg *netsim.Me
 			s.diag.ObserveCorrection(msg.StreamID, len(payload))
 		}
 		return nil
+	case FrameMessageBatch:
+		// Coalesced corrections: sub-records decode into the connection's
+		// scratch message (no per-correction allocation) and the whole
+		// batch applies under one lock hold inside ApplyBatch.
+		n, err := s.ApplyBatch(payload, msg)
+		if n > 0 {
+			s.telBatches.Inc()
+			s.telBatchedMsgs.Observe(float64(n))
+		}
+		return err
 	case FrameQuery:
 		var q QueryPayload
 		if err := json.Unmarshal(payload, &q); err != nil {
