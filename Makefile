@@ -9,11 +9,11 @@ GO ?= go
 # that `make bench-compare` gates against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR7.json
 # The regression gate: benchmarks matching this pattern may not regress
 # ns/op by more than BENCH_MAXREGRESS percent against BENCH_BASE.
-BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced
+BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced|HistoryRecord
 BENCH_MAXREGRESS ?= 10
 
 .PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke
@@ -44,10 +44,11 @@ lint: vet
 # re-converges within the recovery window, every SLO alert the run
 # raised has cleared by the end, AND every page produced a matching
 # incident bundle. The classic summary lands in chaos_summary.txt, the
-# alert log in health_summary.txt, and the incident bundles in
-# chaos_bundles/; CI uploads all three as artifacts.
+# alert log in health_summary.txt, the incident bundles in
+# chaos_bundles/, and the full finest-tier telemetry-history dump in
+# chaos_history.json; CI uploads all four as artifacts.
 chaos-smoke:
-	$(GO) run ./cmd/streamkf chaos -out chaos_summary.txt -health-out health_summary.txt -bundle-dir chaos_bundles
+	$(GO) run ./cmd/streamkf chaos -out chaos_summary.txt -health-out health_summary.txt -bundle-dir chaos_bundles -history-out chaos_history.json
 
 build:
 	$(GO) build ./...

@@ -17,6 +17,7 @@ import (
 	"kalmanstream/internal/diag"
 	"kalmanstream/internal/harness"
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/kalman"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
@@ -410,4 +411,34 @@ func benchProtocolTick(b *testing.B, spec predictor.Spec) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(src.Stats().Sent)/float64(b.N), "msgs/tick")
+}
+
+// BenchmarkHistoryRecord prices the telemetry-history record path: one
+// Tick diffing a registry populated like a busy node (100 streams'
+// labeled counters plus gauges and a latency histogram) into the
+// multi-resolution rings, with the anomaly detector armed. This runs
+// once per scrape interval in production and must stay at 0 allocs/op
+// in steady state (TestHistoryRecordZeroAlloc asserts exactly that).
+func BenchmarkHistoryRecord(b *testing.B) {
+	reg := telemetry.New()
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("s-%03d", i)
+		reg.Counter("messages_sent_total", "stream", id).Add(int64(i))
+		reg.Gauge("stream_stale", "stream", id).Set(0)
+	}
+	h := reg.Histogram("frame_handle_seconds", telemetry.LatencyBuckets)
+	det := history.NewDetector(history.DetectorConfig{Registry: reg})
+	st, err := history.NewStore(history.Config{Registry: reg, Detector: det})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ { // fill accumulators and warm the scratch
+		st.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+		st.Tick()
+	}
 }

@@ -39,10 +39,18 @@
 // /debug/top, and two-sample allocation deltas at /debug/pprof/delta.
 // With -bundle-dir, bundles also spool to disk as JSON files.
 //
+// History: with -http set the server also records every registry
+// series into the multi-resolution telemetry history (internal/history)
+// at -history-interval, serves range queries and anomaly findings at
+// /debug/history (rendered by `streamkf graph` and the `streamkf top`
+// history pane), and embeds the trailing history of the implicated
+// series in every incident bundle.
+//
 // Usage:
 //
 //	kfserver [-addr :9653] [-http :9654] [-trace] [-logjson]
-//	         [-stale-after 5s] [-health-interval 1s] [-bundle-dir dir]
+//	         [-stale-after 5s] [-health-interval 1s] [-history-interval 1s]
+//	         [-bundle-dir dir]
 //
 // -stale-after arms the staleness watchdog: a registered stream with no
 // traffic for that long is marked stale (streams_stale gauge) and its
@@ -61,6 +69,7 @@ import (
 
 	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
 	"kalmanstream/internal/wire"
@@ -73,6 +82,7 @@ func main() {
 	traceCap := flag.Int("trace-buf", trace.DefaultCapacity, "trace ring capacity per shard (newest events win)")
 	staleAfter := flag.Duration("stale-after", 0, "mark a stream stale and push resync requests after this much silence (0 = watchdog off)")
 	healthInterval := flag.Duration("health-interval", time.Second, "SLO monitor tick interval; one rolling window closes per tick (0 = monitor off)")
+	historyInterval := flag.Duration("history-interval", time.Second, "telemetry history scrape interval; drives the multi-resolution rings behind /debug/history (0 = history off)")
 	bundleDir := flag.String("bundle-dir", "", "spool incident bundles to this directory (empty = memory-only ring)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -123,6 +133,32 @@ func main() {
 		})
 		rec.AttachHealth(mon)
 	}
+
+	// The telemetry history keeps multi-resolution rings over the whole
+	// registry and feeds /debug/history, `streamkf graph`, and the
+	// history excerpts embedded in incident bundles. Like the monitor it
+	// rides -http: without an HTTP surface nothing can read it back.
+	var hist *history.Store
+	if *httpAddr != "" && *historyInterval > 0 {
+		det := history.NewDetector(history.DetectorConfig{Registry: telemetry.Default})
+		h, err := history.NewStore(history.Config{
+			Registry: telemetry.Default,
+			Detector: det,
+		})
+		if err != nil {
+			logger.Error("history store failed", "err", err)
+			os.Exit(1)
+		}
+		hist = h
+		if mon != nil {
+			// Register the anomaly counter before the monitor's first
+			// window closes — late tracks are rejected (see health docs).
+			if err := det.RegisterHealth(mon); err != nil {
+				logger.Warn("anomaly track rejected", "err", err)
+			}
+		}
+		rec.AttachHistory(hist)
+	}
 	srv := wire.NewServerWith(wire.Options{
 		Logger:     logger,
 		Metrics:    telemetry.Default,
@@ -130,11 +166,16 @@ func main() {
 		StaleAfter: *staleAfter,
 		Health:     mon,
 		Diag:       rec,
+		History:    hist,
 	})
 	defer srv.StopWatchdog()
 	if mon != nil {
 		mon.Start(*healthInterval)
 		defer mon.Stop()
+	}
+	if hist != nil {
+		hist.Start(*historyInterval)
+		defer hist.Stop()
 	}
 	logger.Info("listening", "addr", l.Addr().String(), "trace", *traceOn,
 		"stale-after", staleAfter.String(), "health", mon != nil)
@@ -179,6 +220,9 @@ func serveHTTP(addr string, srv *wire.Server, logger *slog.Logger) {
 	if rec := srv.Diag(); rec != nil {
 		mux.Handle("/debug/bundle", diag.BundleHandler(rec))
 		mux.Handle("/debug/top", diag.TopHandler(rec))
+	}
+	if hist := srv.HistoryStore(); hist != nil {
+		mux.Handle("/debug/history", history.Handler(hist))
 	}
 	mux.Handle("/debug/pprof/delta", diag.DeltaHandler())
 	// net/http/pprof only self-registers on http.DefaultServeMux; mount

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,8 @@ func cmdChaos(args []string) error {
 	noHealth := fs.Bool("no-health", false, "disarm the SLO monitor (the unarmed control arm)")
 	bundleDir := fs.String("bundle-dir", "", "spool incident bundles captured during the run to this directory")
 	noDiag := fs.Bool("no-diag", false, "disarm the flight recorder (no bundles, no attribution)")
+	noHistory := fs.Bool("no-history", false, "disarm the telemetry history store (the unarmed control arm)")
+	historyOut := fs.String("history-out", "", "write the run's full finest-tier telemetry-history dump to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +58,7 @@ func cmdChaos(args []string) error {
 		Schedule:         sched,
 		DisableHealth:    *noHealth,
 		DisableDiag:      *noDiag,
+		DisableHistory:   *noHistory,
 		BundleDir:        *bundleDir,
 	})
 	if err != nil {
@@ -84,6 +88,15 @@ func cmdChaos(args []string) error {
 	}
 	if !*noDiag {
 		fmt.Print(rep.BundleSummary())
+	}
+	if *historyOut != "" && rep.History != nil {
+		data, err := json.MarshalIndent(rep.History, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*historyOut, data, 0o644); err != nil {
+			return err
+		}
 	}
 	if !rep.Recovered {
 		return fmt.Errorf("chaos: precision not restored within %d ticks of the last fault clearing at %d (last violation tick %d)",

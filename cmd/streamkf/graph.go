@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"kalmanstream/internal/history"
+)
+
+// cmdGraph renders a kfserver's telemetry history (/debug/history) as
+// ASCII sparklines: one row per matching series, or — with no selector —
+// the store index (tiers, series count, recent anomaly findings) so the
+// operator can discover what there is to graph.
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	httpAddr := fs.String("http", "localhost:9654", "kfserver HTTP address (the -http flag it was started with)")
+	series := fs.String("series", "", "exact series name to graph (e.g. wire_frames_total)")
+	contains := fs.String("contains", "", `label-substring filter, e.g. stream="s-3"`)
+	tier := fs.Int("tier", 0, "resolution tier (0 = finest)")
+	n := fs.Int("n", 60, "most recent buckets to render (0 = whole ring)")
+	agg := fs.Bool("agg", false, "merge matching label sets into one aggregated row")
+	width := fs.Int("width", 60, "sparkline width in cells (wider windows are downsampled)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *series == "" && *contains == "" {
+		return graphIndex(client, *httpAddr, *tier)
+	}
+
+	q := url.Values{}
+	if *series != "" {
+		q.Set("series", *series)
+	}
+	if *contains != "" {
+		q.Set("contains", *contains)
+	}
+	q.Set("tier", fmt.Sprint(*tier))
+	q.Set("n", fmt.Sprint(*n))
+	if *agg {
+		q.Set("agg", "sum")
+	}
+	u := fmt.Sprintf("http://%s/debug/history?%s", *httpAddr, q.Encode())
+	var ranges []history.SeriesRange
+	if err := fetchJSON(client, u, &ranges); err != nil {
+		return fmt.Errorf("graph: %w (is kfserver running with -http %s?)", err, *httpAddr)
+	}
+	if len(ranges) == 0 {
+		fmt.Printf("no series match %s%s at tier %d\n", *series, *contains, *tier)
+		return nil
+	}
+	for _, r := range ranges {
+		fmt.Print(renderSeriesRange(r, *width))
+	}
+	return nil
+}
+
+// graphIndex prints the store's table of contents: tiers, series count,
+// and the detector's recent findings.
+func graphIndex(client *http.Client, httpAddr string, tier int) error {
+	u := fmt.Sprintf("http://%s/debug/history?tier=%d", httpAddr, tier)
+	var dump history.DumpPayload
+	if err := fetchJSON(client, u, &dump); err != nil {
+		return fmt.Errorf("graph: %w (is kfserver running with -http %s?)", err, httpAddr)
+	}
+	fmt.Printf("telemetry history — tick %d, %d series", dump.Tick, dump.SeriesCount)
+	if dump.Dropped > 0 {
+		fmt.Printf(" (%.0f dropped at the series cap)", dump.Dropped)
+	}
+	fmt.Println()
+	for k, t := range dump.Tiers {
+		closed := int64(0)
+		if k < len(dump.Closed) {
+			closed = dump.Closed[k]
+		}
+		fmt.Printf("  tier %d: every %d tick(s) × %d buckets (%d closed)\n", k, t.Every, t.Len, closed)
+	}
+	if len(dump.Anomalies) > 0 {
+		fmt.Printf("\nrecent anomalies (%d lifetime):\n", dump.AnomalyTotal)
+		for _, f := range dump.Anomalies {
+			fmt.Printf("  tick %-8d %s%s value %.3g vs median %.3g (z=%.1f)\n",
+				f.Tick, f.Name, f.Labels, f.Value, f.Median, f.Z)
+		}
+	}
+	fmt.Println("\nuse -series NAME (or -contains 'stream=\"id\"') to graph a series")
+	return nil
+}
+
+// renderSeriesRange formats one series as a labeled sparkline with a
+// min/max/last legend. Counters graph the per-bucket rate, gauges the
+// last value, histograms the per-bucket p99.
+func renderSeriesRange(r history.SeriesRange, width int) string {
+	var vals []float64
+	var metric string
+	for _, p := range r.Points {
+		switch r.Kind {
+		case "counter":
+			vals, metric = append(vals, p.Rate), "rate/tick"
+		case "gauge":
+			vals, metric = append(vals, p.Value), "last"
+		case "histogram":
+			vals, metric = append(vals, p.P99), "p99"
+		}
+	}
+	vals = resample(vals, width)
+	lo, hi, last := 0.0, 0.0, 0.0
+	if len(vals) > 0 {
+		lo, hi, last = vals[0], vals[0], vals[len(vals)-1]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s (%s, tier %d, every %d tick(s), %d buckets)\n",
+		r.Name, r.Labels, r.Kind, r.Tier, r.Every, len(r.Points))
+	fmt.Fprintf(&b, "  %s\n", spark(vals))
+	fmt.Fprintf(&b, "  %s: min %.3g  max %.3g  last %.3g\n", metric, lo, hi, last)
+	return b.String()
+}
+
+// resample shrinks a series to at most width cells by averaging equal
+// spans, so a 360-bucket ring still fits a terminal row.
+func resample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// fetchJSON GETs a URL and decodes the JSON body into v.
+func fetchJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

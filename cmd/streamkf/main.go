@@ -46,6 +46,8 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
 	case "bundle":
 		err = cmdBundle(os.Args[2:])
 	case "-h", "--help", "help":
@@ -86,6 +88,7 @@ commands:
                                     bound, replica lock-step, composition)
                                     on this machine's floating point
   chaos [-ticks N] [-seed S] [-schedule SPEC] [-out FILE] [-bundle-dir DIR]
+        [-history-out FILE] [-no-history]
                                     drive a deterministic fault schedule
                                     (loss, delay, reorder, duplicate,
                                     partition) through the pipeline and
@@ -101,6 +104,14 @@ commands:
                                     suppress rates, stale flags, the recent
                                     alert log, and the flight recorder's
                                     top-offender tables
+  graph [-http H:P] [-series NAME | -contains LBL] [-tier K] [-n N] [-agg]
+                                    render a kfserver's telemetry history
+                                    (/debug/history) as ASCII sparklines:
+                                    per-bucket counter rates, gauge values,
+                                    or histogram p99 at any resolution
+                                    tier; with no selector, print the
+                                    store index and recent anomaly
+                                    findings
   bundle [-http H:P] [-id ID] [-json]
                                     list a kfserver's incident bundles, or
                                     fetch one by ID and render the forensic

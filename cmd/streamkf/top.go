@@ -11,6 +11,7 @@ import (
 
 	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 )
 
 // cmdTop renders a live plain-ANSI dashboard over a running kfserver's
@@ -28,6 +29,8 @@ func cmdTop(args []string) error {
 	}
 	url := fmt.Sprintf("http://%s/debug/health", *httpAddr)
 	topURL := fmt.Sprintf("http://%s/debug/top?n=8", *httpAddr)
+	histURL := fmt.Sprintf("http://%s/debug/history?dump=1&tier=0&n=30", *httpAddr)
+	varsURL := fmt.Sprintf("http://%s/debug/vars", *httpAddr)
 	client := &http.Client{Timeout: *interval}
 
 	var prev *health.DebugPayload
@@ -48,11 +51,20 @@ func cmdTop(args []string) error {
 		if prev != nil {
 			elapsed = now.Sub(prevAt).Seconds()
 		}
+		// The history and term-cache panes are equally best-effort:
+		// servers without /debug/history or the coordinator metrics
+		// simply render without them.
+		hist := fetchHistory(client, histURL)
+		vars := fetchVars(client, varsURL)
 		// Clear screen, home cursor: plain ANSI, no TUI dependency.
 		fmt.Print("\x1b[2J\x1b[H")
 		fmt.Print(renderTop(prev, cur, elapsed))
+		fmt.Print(renderTermCache(vars))
 		if offenders != nil {
 			fmt.Print(renderOffenders(offenders))
+		}
+		if hist != nil {
+			fmt.Print(renderHistory(hist))
 		}
 		prev, prevAt = cur, now
 	}
@@ -112,6 +124,142 @@ func renderOffenders(top *diag.TopPayload) string {
 		b.WriteString("  (no events attributed yet)\n")
 	}
 	return b.String()
+}
+
+// fetchHistory polls the telemetry-history dump (finest tier, last 30
+// buckets per series). Any failure returns nil: the pane is optional.
+func fetchHistory(client *http.Client, url string) *history.DumpPayload {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var payload history.DumpPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil
+	}
+	return &payload
+}
+
+// fetchVars polls /debug/vars for the scalar metrics the dashboard
+// derives ratios from. Histogram entries decode as objects and are
+// skipped. Any failure returns nil.
+func fetchVars(client *http.Client, url string) map[string]float64 {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// renderTermCache formats the coordinator's innovation-term cache line:
+// how often budget allocation reused a stream's cached terms versus
+// recomputing them. Absent metrics (no coordinator running) render
+// nothing.
+func renderTermCache(vars map[string]float64) string {
+	reused, okR := vars["coordinator_terms_reused_total"]
+	recomputed, okC := vars["coordinator_terms_recomputed_total"]
+	if !okR && !okC {
+		return ""
+	}
+	total := reused + recomputed
+	rate := 0.0
+	if total > 0 {
+		rate = reused / total
+	}
+	return fmt.Sprintf("\ncoordinator term cache: %.1f%% hit (%.0f reused / %.0f recomputed)\n",
+		rate*100, reused, recomputed)
+}
+
+// renderHistory formats the telemetry-history pane: the detector's
+// recent anomaly findings plus compact sparklines for the busiest
+// finest-tier series.
+func renderHistory(dump *history.DumpPayload) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nhistory (tier 0, last 30 buckets, %d series", dump.SeriesCount)
+	if dump.AnomalyTotal > 0 {
+		fmt.Fprintf(&b, ", %d anomalies", dump.AnomalyTotal)
+	}
+	b.WriteString("):\n")
+	for _, f := range dump.Anomalies {
+		fmt.Fprintf(&b, "  ! tick %-8d %s%s value %.3g vs median %.3g (z=%.1f)\n",
+			f.Tick, f.Name, f.Labels, f.Value, f.Median, f.Z)
+	}
+	for _, r := range topActive(dump.Series, 5) {
+		vals := make([]float64, 0, len(r.Points))
+		for _, p := range r.Points {
+			switch r.Kind {
+			case "gauge":
+				vals = append(vals, p.Value)
+			case "histogram":
+				vals = append(vals, p.Count)
+			default:
+				vals = append(vals, p.Rate)
+			}
+		}
+		fmt.Fprintf(&b, "  %-36s %s\n", r.Name+r.Labels, spark(vals))
+	}
+	return b.String()
+}
+
+// topActive picks the n series with the most recent activity — summed
+// counter deltas, histogram counts, or peak gauge magnitude — so the
+// pane shows what is moving, not an alphabetical slice.
+func topActive(series []history.SeriesRange, n int) []history.SeriesRange {
+	type scored struct {
+		r     history.SeriesRange
+		score float64
+	}
+	var ss []scored
+	for _, r := range series {
+		score := 0.0
+		for _, p := range r.Points {
+			switch r.Kind {
+			case "gauge":
+				if a := p.Max; a > score {
+					score = a
+				}
+			case "histogram":
+				score += p.Count
+			default:
+				score += p.Value
+			}
+		}
+		if score > 0 {
+			ss = append(ss, scored{r, score})
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].r.Name < ss[j].r.Name
+	})
+	if len(ss) > n {
+		ss = ss[:n]
+	}
+	out := make([]history.SeriesRange, len(ss))
+	for i, s := range ss {
+		out[i] = s.r
+	}
+	return out
 }
 
 func fetchHealth(client *http.Client, url string) (*health.DebugPayload, error) {

@@ -15,6 +15,7 @@ import (
 	"kalmanstream/internal/core"
 	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/stream"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
@@ -223,6 +224,11 @@ type Config struct {
 	// BundleDir, when set, spools captured incident bundles to disk
 	// (the chaos-smoke CI artifact).
 	BundleDir string
+	// DisableHistory turns the telemetry history store off — the
+	// unarmed control arm for asserting that retrospective recording is
+	// a pure observer (armed and unarmed runs must produce
+	// byte-identical summaries).
+	DisableHistory bool
 }
 
 func (c Config) withDefaults() Config {
@@ -305,6 +311,11 @@ type Report struct {
 	// capture itself is broken, which is exactly what chaos-smoke
 	// gates on.
 	UnbundledPages int
+	// History is the full finest-tier telemetry-history dump at run
+	// end (nil when history was disabled) — the chaos-smoke artifact
+	// behind `streamkf chaos -history-out`. Never rendered by the
+	// summaries, so the byte-identity control arms stay valid.
+	History *history.DumpPayload
 }
 
 // Summary renders the report as the plain-text block the chaos smoke
@@ -428,13 +439,31 @@ func Run(cfg Config) (Report, error) {
 			rec.AttachHealth(mon)
 		}
 	}
+	var hist *history.Store
+	var det *history.Detector
+	if !cfg.DisableHistory {
+		// The history store rides every run by default: like the
+		// recorder it is asserted to be a pure observer
+		// (TestHistoryRunByteIdentical) — it reads the registry once per
+		// Advance and changes nothing the verdict depends on.
+		det = history.NewDetector(history.DetectorConfig{Registry: reg})
+		h, herr := history.NewStore(history.Config{Registry: reg, Detector: det})
+		if herr != nil {
+			return Report{}, herr
+		}
+		hist = h
+		if rec != nil {
+			rec.AttachHistory(hist)
+		}
+	}
 	sys, err := core.NewSystem(core.SystemConfig{
-		Trace:          tr,
-		Audit:          true,
-		Telemetry:      reg,
-		Health:         mon,
-		Diag:           rec,
-		CoalesceUplink: cfg.Coalesce,
+		Trace:            tr,
+		Audit:            true,
+		Telemetry:        reg,
+		Health:           mon,
+		Diag:             rec,
+		CoalesceUplink:   cfg.Coalesce,
+		TelemetryHistory: hist,
 	})
 	if err != nil {
 		return Report{}, err
@@ -462,12 +491,24 @@ func Run(cfg Config) (Report, error) {
 		gens[i] = cfg.NewStream(cfg.Seed+7919*int64(i), cfg.Ticks)
 	}
 
+	// Registry mirrors of the watchdog's view, maintained every tick in
+	// every arm: the monitor-side gauge track alone never lands in the
+	// registry, and the history store (hence the bundle excerpts cut
+	// from it) can only replay what the registry held. The series name
+	// matches the monitor track so an excerpt for the staleness SLO
+	// finds its ramp.
+	staleGauge := reg.Gauge("streams_stale")
+	streamStale := make([]*telemetry.Gauge, len(ids))
+	for i, id := range ids {
+		streamStale[i] = reg.Gauge("stream_stale", "stream", id)
+	}
+
 	if mon != nil {
 		// The staleness objective has a zero budget — any window with a
 		// stream stale pages. The δ objective burns against DeltaBudget.
 		auditor := sys.Auditor()
-		for _, err := range []error{
-			mon.TrackGaugeFunc("stale", func() float64 {
+		wiring := []error{
+			mon.TrackGaugeFunc("streams_stale", func() float64 {
 				n := 0.0
 				for _, h := range handles {
 					if h.Stale() {
@@ -478,10 +519,16 @@ func Run(cfg Config) (Report, error) {
 			}),
 			mon.TrackCounterFunc("audit_ticks", auditor.TotalTicks),
 			mon.TrackCounterFunc("audit_delta_violations", auditor.TotalViolations),
-			mon.GaugeSLO("staleness", "stale", 0, health.Thresholds{}),
+			mon.GaugeSLO("staleness", "streams_stale", 0, health.Thresholds{}),
 			mon.RatioSLO("delta-burn", "audit_delta_violations", "audit_ticks",
 				cfg.DeltaBudget, health.Thresholds{}),
-		} {
+		}
+		if det != nil {
+			// Before the monitor's first window closes — late tracks are
+			// rejected (see health.Monitor docs).
+			wiring = append(wiring, det.RegisterHealth(mon))
+		}
+		for _, err := range wiring {
 			if err != nil {
 				return Report{}, fmt.Errorf("chaos: health wiring: %w", err)
 			}
@@ -520,6 +567,7 @@ run:
 		if err := sys.Advance(); err != nil {
 			return rep, err
 		}
+		nStale := 0.0
 		for i, h := range handles {
 			p, ok := gens[i].Next()
 			if !ok {
@@ -528,13 +576,21 @@ run:
 			if _, err := h.Observe(p.Value); err != nil {
 				return rep, err
 			}
-			if stale := h.Stale(); stale != wasStale[i] {
+			stale := h.Stale()
+			if stale != wasStale[i] {
 				if stale {
 					rep.StaleEpisodes++
 				}
 				wasStale[i] = stale
 			}
+			if stale {
+				nStale++
+				streamStale[i].Set(1)
+			} else {
+				streamStale[i].Set(0)
+			}
 		}
+		staleGauge.Set(nStale)
 		rep.Ticks++
 	}
 
@@ -585,6 +641,10 @@ run:
 		}
 		rep.Bundles = rec.Bundles()
 		rep.UnbundledPages = unbundledPages(rep.Alerts, rep.Bundles, rec.DedupeWindow())
+	}
+	if hist != nil {
+		d := hist.Dump(0, -1)
+		rep.History = &d
 	}
 	return rep, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/query"
@@ -218,6 +219,13 @@ type SystemConfig struct {
 	// test runs deterministic. Wall-clock deployments use
 	// health.Monitor.Start instead and leave this nil.
 	Health *health.Monitor
+	// TelemetryHistory, when non-nil, is ticked once per Advance (after
+	// Health), recording multi-resolution history of every series in
+	// the telemetry registry it was built over. Wall-clock deployments
+	// use history.Store.Start instead and leave this nil. Distinct from
+	// the per-stream answer archive (EnableHistory): this is the
+	// metrics trajectory, that is the data trajectory.
+	TelemetryHistory *history.Store
 	// Diag, when non-nil, arms the flight recorder's attribution feeds:
 	// applied corrections (with encoded bytes), δ violations from the
 	// auditor, and staleness marks from the watchdog are attributed
@@ -259,6 +267,7 @@ type System struct {
 	tr      *trace.Journal
 	auditor *trace.Auditor
 	health  *health.Monitor
+	hist    *history.Store
 	diag    *diag.Recorder
 
 	workers    int
@@ -292,6 +301,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		handles:  make(map[string]*StreamHandle),
 		tr:       tr,
 		health:   cfg.Health,
+		hist:     cfg.TelemetryHistory,
 		workers:  cfg.Workers,
 		coalesce: cfg.CoalesceUplink,
 	}
@@ -500,6 +510,11 @@ func (s *System) Advance() error {
 	s.tick.Add(1)
 	if s.health != nil {
 		s.health.Tick()
+	}
+	if s.hist != nil {
+		// After health: a bundle captured from a health transition sees
+		// history through the previous tick, never a half-recorded one.
+		s.hist.Tick()
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/trace"
 )
 
@@ -40,6 +41,10 @@ type Bundle struct {
 	// TopK holds the offender tables keyed by sketch name
 	// (corrections, bytes, violations, stale).
 	TopK map[string][]Item `json:"topk"`
+	// History is the trailing telemetry history of the implicated
+	// series — the alert's SLO series plus the top offender streams'
+	// labeled series — when a history store is attached.
+	History *history.Excerpt `json:"history,omitempty"`
 	// TraceTail is the most recent slice of the trace journal.
 	TraceTail []trace.Event `json:"trace_tail,omitempty"`
 	// Logs is the recent log ring, oldest first.
@@ -84,6 +89,10 @@ func (r *Recorder) capture(reason string, alert *health.Transition) Bundle {
 		snap := r.healthFn()
 		b.Health = &snap
 	}
+	if r.history != nil {
+		ex := r.history.ExcerptFor(r.implicatedSeries(b.Alert, b.Health), r.offenderStreams(), r.opts.HistoryTail)
+		b.History = &ex
+	}
 	if j := r.opts.Journal; j != nil {
 		tail := j.Snapshot()
 		if len(tail) > r.opts.TraceTail {
@@ -118,6 +127,40 @@ func (r *Recorder) capture(reason string, alert *health.Transition) Bundle {
 	r.telBundles.Inc()
 	r.persist(b)
 	return b
+}
+
+// implicatedSeries names the series whose history belongs in the
+// bundle: the paging SLO's tracked series when an alert fired, or —
+// for unconditional captures — every series any declared SLO watches.
+func (r *Recorder) implicatedSeries(alert *health.Transition, snap *health.Snapshot) []string {
+	if snap == nil {
+		return nil
+	}
+	var names []string
+	for _, s := range snap.SLOs {
+		if alert != nil && s.Name != alert.SLO {
+			continue
+		}
+		names = append(names, s.Series...)
+	}
+	return names
+}
+
+// offenderStreams lists the top HistoryStreams stream IDs of every
+// attribution sketch — the streams most likely implicated in whatever
+// paged.
+func (r *Recorder) offenderStreams() []string {
+	var ids []string
+	seen := make(map[string]bool)
+	for _, tk := range r.Sketches() {
+		for _, it := range tk.Top(r.opts.HistoryStreams) {
+			if !seen[it.ID] {
+				seen[it.ID] = true
+				ids = append(ids, it.ID)
+			}
+		}
+	}
+	return ids
 }
 
 // clampBurn maps +Inf (and anything past it) to the finite 1e9

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
 )
@@ -61,6 +62,14 @@ type Options struct {
 	Journal *trace.Journal
 	// Logs, when non-nil, contributes recent log records.
 	Logs *RingHandler
+	// HistoryTail bounds the trailing finest-tier history buckets
+	// embedded per implicated series (default 120). The store itself
+	// attaches via AttachHistory.
+	HistoryTail int
+	// HistoryStreams is how many top offender streams (per sketch)
+	// contribute their labeled series to the embedded history
+	// (default 4).
+	HistoryStreams int
 }
 
 // Recorder is the flight recorder. All Observe* methods are safe for
@@ -79,6 +88,7 @@ type Recorder struct {
 	dropped      atomic.Int64
 
 	healthFn func() health.Snapshot
+	history  *history.Store
 
 	mu          sync.Mutex
 	lastCapture int64 // monitor tick of the last page capture, -1 = never
@@ -101,6 +111,12 @@ func NewRecorder(opts Options) *Recorder {
 	}
 	if opts.TraceTail <= 0 {
 		opts.TraceTail = 256
+	}
+	if opts.HistoryTail <= 0 {
+		opts.HistoryTail = 120
+	}
+	if opts.HistoryStreams <= 0 {
+		opts.HistoryStreams = 4
 	}
 	reg := opts.Registry
 	if reg == nil {
@@ -130,6 +146,15 @@ func NewRecorder(opts Options) *Recorder {
 // may call back into Snapshot safely.
 func (r *Recorder) AttachHealth(m *health.Monitor) {
 	r.healthFn = m.Snapshot
+}
+
+// AttachHistory points bundle capture at a telemetry history store:
+// every bundle embeds the trailing HistoryTail finest-tier buckets of
+// the implicated series — the paging SLO's tracked series plus the top
+// offender streams' labeled series — so the bundle shows the ramp
+// before the cliff, not just the cliff.
+func (r *Recorder) AttachHistory(st *history.Store) {
+	r.history = st
 }
 
 // ObserveCorrection attributes one applied correction of n encoded

@@ -101,9 +101,12 @@ func (c Config) withDefaults() Config {
 }
 
 // Monitor is the rolling-window health engine. Track* and *SLO calls
-// declare what to watch (typically once, at startup, though tracking
-// mid-flight is safe); Tick drives it. All methods are safe for
-// concurrent use.
+// declare what to watch — before the first window closes. A series
+// registered later would contribute zero-filled ring slots to every
+// burn-rate span until its ring wrapped, silently corrupting the very
+// alerts it was meant to feed, so the Track* methods reject late
+// registration with an explicit error instead. Tick drives the engine.
+// All methods are safe for concurrent use.
 type Monitor struct {
 	mu  sync.Mutex
 	cfg Config
@@ -173,6 +176,20 @@ func (m *Monitor) taken(name string) bool {
 	return m.counterIdx[name] != nil || m.gaugeIdx[name] != nil || m.histIdx[name] != nil
 }
 
+// checkTrackable guards the Track* paths: duplicate names are rejected,
+// and so is registration after the first window has closed — a late
+// series would evaluate against zero-filled ring slots for a full ring
+// wrap, skewing every burn rate computed over it. Caller holds mu.
+func (m *Monitor) checkTrackable(name string) error {
+	if m.taken(name) {
+		return fmt.Errorf("health: series %q already tracked", name)
+	}
+	if m.closed > 0 {
+		return fmt.Errorf("health: series %q registered after %d windows already closed; track series before the monitor's first window closes", name, m.closed)
+	}
+	return nil
+}
+
 // TrackCounter follows a telemetry counter under the given series name.
 func (m *Monitor) TrackCounter(name string, c *telemetry.Counter) error {
 	return m.trackCounter(name, c, nil)
@@ -192,8 +209,8 @@ func (m *Monitor) trackCounter(name string, c *telemetry.Counter, fn func() int6
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.taken(name) {
-		return fmt.Errorf("health: series %q already tracked", name)
+	if err := m.checkTrackable(name); err != nil {
+		return err
 	}
 	t := &counterTrack{name: name, src: c, fn: fn, ring: make([]float64, m.cfg.Windows)}
 	t.last = t.read()
@@ -221,8 +238,8 @@ func (m *Monitor) trackGauge(name string, g *telemetry.Gauge, fn func() float64)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.taken(name) {
-		return fmt.Errorf("health: series %q already tracked", name)
+	if err := m.checkTrackable(name); err != nil {
+		return err
 	}
 	t := &gaugeTrack{name: name, src: g, fn: fn, ring: make([]float64, m.cfg.Windows)}
 	m.gauges = append(m.gauges, t)
@@ -238,8 +255,8 @@ func (m *Monitor) TrackHistogram(name string, h *telemetry.Histogram) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.taken(name) {
-		return fmt.Errorf("health: series %q already tracked", name)
+	if err := m.checkTrackable(name); err != nil {
+		return err
 	}
 	nb := h.NumBuckets()
 	t := &histTrack{

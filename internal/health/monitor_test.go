@@ -294,6 +294,30 @@ func TestSLOValidation(t *testing.T) {
 	}
 }
 
+// TestTrackAfterWindowCloseRejected pins the late-registration contract:
+// once the monitor has closed a window, a new series would evaluate
+// against zero-filled ring slots until its ring wrapped, so Track*
+// must return a clear error instead of silently accepting it (the
+// history anomaly detector registers its track at startup and relies
+// on this error to catch misordered wiring).
+func TestTrackAfterWindowCloseRejected(t *testing.T) {
+	reg := telemetry.New()
+	m := NewMonitor(quiet(Config{Registry: reg, WindowTicks: 1}, nil))
+	if err := m.TrackCounter("early", reg.Counter("early_total")); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick() // closes the first window
+	if err := m.TrackCounter("late_c", reg.Counter("late_total")); err == nil {
+		t.Error("TrackCounter accepted a series after the first window closed")
+	}
+	if err := m.TrackGaugeFunc("late_g", func() float64 { return 0 }); err == nil {
+		t.Error("TrackGaugeFunc accepted a series after the first window closed")
+	}
+	if err := m.TrackHistogram("late_h", reg.Histogram("late_seconds", []float64{1})); err == nil {
+		t.Error("TrackHistogram accepted a series after the first window closed")
+	}
+}
+
 // TestMonitorTickZeroAlloc pins the acceptance bound: the steady-state
 // no-alert tick path — including a window close and full SLO
 // evaluation every tick — performs zero allocations.

@@ -132,6 +132,21 @@ type sloState struct {
 	burnSlow   float64
 }
 
+// seriesNames lists the tracked series this objective evaluates — bad
+// then total for ratio SLOs. Consumers (the flight recorder) use these
+// to look up the matching telemetry history for an incident bundle.
+func (s *sloState) seriesNames() []string {
+	switch s.kind {
+	case sloRatio:
+		return []string{s.bad.name, s.total.name}
+	case sloGauge:
+		return []string{s.g.name}
+	case sloLatency:
+		return []string{s.h.name}
+	}
+	return nil
+}
+
 // badTotal accumulates the objective's bad and total event counts over
 // the given closed-window slot.
 func (s *sloState) badTotal(slot int) (bad, total float64) {

@@ -38,6 +38,10 @@ type SLOSnapshot struct {
 	BurnSlow float64 `json:"burn_slow"`
 	// SinceTick is the tick the current non-OK state began (0 when OK).
 	SinceTick int64 `json:"since_tick,omitempty"`
+	// Series names the tracked series this objective evaluates (bad then
+	// total for ratio SLOs) — the key the flight recorder uses to pull
+	// the matching telemetry history into an incident bundle.
+	Series []string `json:"series,omitempty"`
 	// Windows holds the per-window bad ratio oldest→newest — the
 	// δ-violation sparkline `streamkf top` renders.
 	Windows []float64 `json:"windows,omitempty"`
@@ -131,6 +135,7 @@ func (m *Monitor) Snapshot() Snapshot {
 			BurnFast:  jsonBurn(s.burnFast),
 			BurnSlow:  jsonBurn(s.burnSlow),
 			SinceTick: s.sinceTick,
+			Series:    s.seriesNames(),
 			Windows:   make([]float64, n),
 		}
 		for j, slot := range slots {

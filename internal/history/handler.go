@@ -1,0 +1,72 @@
+// The /debug/history endpoint: the store index plus range queries,
+// the payloads `streamkf graph` and the `streamkf top` history pane
+// decode.
+//
+//	GET /debug/history                  → DumpPayload (meta + anomalies)
+//	GET /debug/history?dump=1&tier=0&n=120 → DumpPayload with every series
+//	GET /debug/history?series=NAME[&labels=..][&contains=..][&tier=k][&n=N][&agg=sum]
+//	                                    → []SeriesRange (or one merged SeriesRange)
+
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the store as JSON.
+func Handler(st *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		qp := r.URL.Query()
+		tier := atoiDefault(qp.Get("tier"), 0)
+		n := atoiDefault(qp.Get("n"), 0)
+
+		if name := qp.Get("series"); name != "" || qp.Get("contains") != "" {
+			ranges := st.Query(Q{
+				Name:          name,
+				Labels:        qp.Get("labels"),
+				LabelContains: qp.Get("contains"),
+				Tier:          tier,
+				N:             n,
+			})
+			if qp.Get("agg") != "" && len(ranges) > 0 {
+				merged := Merge(ranges)
+				writeJSON(w, []SeriesRange{merged})
+				return
+			}
+			if ranges == nil {
+				ranges = []SeriesRange{}
+			}
+			writeJSON(w, ranges)
+			return
+		}
+
+		if qp.Get("dump") != "" {
+			if n == 0 {
+				n = -1 // full ring
+			}
+			writeJSON(w, st.Dump(tier, n))
+			return
+		}
+		writeJSON(w, st.Dump(tier, 0))
+	})
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -420,39 +420,84 @@ func (s Sample) Quantile(q float64) float64 {
 	return lo
 }
 
+// SnapshotAppend appends a point-in-time copy of every metric to dst and
+// returns the extended slice. Unlike Snapshot the result is NOT sorted
+// (sorting allocates; key by Name+Labels instead of position), and dst's
+// capacity is reused — including each overwritten element's Buckets
+// backing array — so a per-tick scraper that passes last tick's slice
+// back as dst[:0] reaches a zero-allocation steady state once every
+// series has been seen. Concurrent updates during the walk may be
+// partially included (each individual metric is read atomically).
+func (r *Registry) SnapshotAppend(dst []Sample) []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Dormant elements between len(dst) and cap(dst) still hold the
+	// previous scrape's samples, and their Buckets arrays are salvaged
+	// for this scrape's histograms. Histograms are emitted FIRST so
+	// every salvage happens before counter/gauge appends overwrite
+	// dormant slots (and with it any array the cursor hadn't reached):
+	// the k-th histogram steals from the k-th salvageable slot, which is
+	// always at or past the append position, so in the steady state no
+	// array is ever clobbered and the recycled slice allocates nothing —
+	// regardless of how map iteration shuffles series between calls.
+	base := dst[:cap(dst)]
+	cursor := len(dst)
+	for _, f := range r.families {
+		if f.kind != KindHistogram {
+			continue
+		}
+		for _, s := range f.series {
+			smp := Sample{Name: f.name, Labels: s.labels, Kind: f.kind}
+			var buckets []Bucket
+			if cursor < len(dst) {
+				cursor = len(dst) // never steal from a slot already rewritten
+			}
+			for ; cursor < len(base); cursor++ {
+				if base[cursor].Buckets != nil {
+					buckets = base[cursor].Buckets[:0]
+					base[cursor].Buckets = nil
+					cursor++
+					break
+				}
+			}
+			h := s.hist
+			smp.Count = h.Count()
+			smp.Sum = h.Sum()
+			var cum int64
+			for i := range h.buckets {
+				cum += h.buckets[i].Load()
+				ub := math.Inf(1)
+				if i < len(h.bounds) {
+					ub = h.bounds[i]
+				}
+				buckets = append(buckets, Bucket{UpperBound: ub, Count: cum})
+			}
+			smp.Buckets = buckets
+			dst = append(dst, smp)
+		}
+	}
+	for _, f := range r.families {
+		if f.kind == KindHistogram {
+			continue
+		}
+		for _, s := range f.series {
+			smp := Sample{Name: f.name, Labels: s.labels, Kind: f.kind}
+			if f.kind == KindCounter {
+				smp.Value = float64(s.ctr.Value())
+			} else {
+				smp.Value = s.gauge.Value()
+			}
+			dst = append(dst, smp)
+		}
+	}
+	return dst
+}
+
 // Snapshot returns a point-in-time copy of every metric, sorted by name
 // then label set. Concurrent updates during the walk may be partially
 // included (each individual metric is read atomically).
 func (r *Registry) Snapshot() []Sample {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]Sample, 0, len(r.families))
-	for _, f := range r.families {
-		for _, s := range f.series {
-			smp := Sample{Name: f.name, Labels: s.labels, Kind: f.kind}
-			switch f.kind {
-			case KindCounter:
-				smp.Value = float64(s.ctr.Value())
-			case KindGauge:
-				smp.Value = s.gauge.Value()
-			case KindHistogram:
-				h := s.hist
-				smp.Count = h.Count()
-				smp.Sum = h.Sum()
-				smp.Buckets = make([]Bucket, len(h.buckets))
-				var cum int64
-				for i := range h.buckets {
-					cum += h.buckets[i].Load()
-					ub := math.Inf(1)
-					if i < len(h.bounds) {
-						ub = h.bounds[i]
-					}
-					smp.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
-				}
-			}
-			out = append(out, smp)
-		}
-	}
+	out := r.SnapshotAppend(nil)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name

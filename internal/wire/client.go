@@ -109,13 +109,16 @@ type Client struct {
 	telResyncReqs *telemetry.Counter
 
 	// Write ring for coalesced corrections (armed via EnableCoalescing).
-	coalesce  bool
-	batch     netsim.Batch
-	batchCfg  CoalesceConfig
-	lastFlush time.Time
+	coalesce   bool
+	batch      netsim.Batch
+	batchCfg   CoalesceConfig
+	lastFlush  time.Time
+	batchStart time.Time // when the pending batch received its first correction
 
-	telFlushes   *telemetry.Counter
-	telCoalesced *telemetry.Counter
+	telFlushes    *telemetry.Counter
+	telCoalesced  *telemetry.Counter
+	telFlushDelay *telemetry.Histogram
+	telRingOcc    *telemetry.Gauge
 }
 
 // CoalesceConfig shapes the client's correction write ring. Corrections
@@ -215,6 +218,12 @@ func (c *Client) initTelemetry() {
 	c.telResyncReqs = telemetry.Default.Counter("wire_client_resync_requests_total")
 	c.telFlushes = telemetry.Default.Counter("wire_client_batch_flushes_total")
 	c.telCoalesced = telemetry.Default.Counter("wire_client_corrections_coalesced_total")
+	telemetry.Default.Help("wire_coalesce_flush_delay_seconds",
+		"wall-clock delay between a batch's first correction and its flush")
+	c.telFlushDelay = telemetry.Default.Histogram("wire_coalesce_flush_delay_seconds", telemetry.LatencyBuckets)
+	telemetry.Default.Help("wire_client_write_ring_occupancy",
+		"corrections pending in the coalescing write ring")
+	c.telRingOcc = telemetry.Default.Gauge("wire_client_write_ring_occupancy")
 }
 
 // Close flushes any pending coalesced corrections, closes the
@@ -514,9 +523,13 @@ func (c *Client) sendCoalesced(m *netsim.Message) error {
 			}
 		}
 	}
+	if c.batch.Count() == 0 {
+		c.batchStart = time.Now()
+	}
 	if err := c.batch.Add(m); err != nil {
 		return err
 	}
+	c.telRingOcc.Set(float64(c.batch.Count()))
 	if c.batch.Count() >= c.batchCfg.MaxCorrections || c.batch.Len() >= c.batchCfg.MaxBytes {
 		return c.FlushCorrections()
 	}
@@ -551,6 +564,11 @@ func (c *Client) FlushCorrections() error {
 	}
 	c.batch.Reset()
 	c.lastFlush = time.Now()
+	if !c.batchStart.IsZero() {
+		c.telFlushDelay.Observe(c.lastFlush.Sub(c.batchStart).Seconds())
+		c.batchStart = time.Time{}
+	}
+	c.telRingOcc.Set(0)
 	c.telFlushes.Inc()
 	c.telCoalesced.Add(int64(n))
 	return nil

@@ -16,6 +16,7 @@ import (
 
 	"kalmanstream/internal/diag"
 	"kalmanstream/internal/health"
+	"kalmanstream/internal/history"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/server"
@@ -137,6 +138,7 @@ type Server struct {
 
 	monitor *health.Monitor
 	diag    *diag.Recorder
+	hist    *history.Store
 }
 
 // Options configures a wire server beyond the defaults.
@@ -169,6 +171,11 @@ type Options struct {
 	// allocation-free, preserving the dispatch path's zero-alloc
 	// property (TestMessageDispatchZeroAllocWithDiag).
 	Diag *diag.Recorder
+	// History, when non-nil, is the multi-resolution telemetry history
+	// store recording this server's registry. The server only holds it
+	// for the HTTP layer (/debug/history) — the caller owns its clock,
+	// via history.Store.Start or a System tick.
+	History *history.Store
 }
 
 // NewServer returns an empty wire server instrumented against
@@ -226,6 +233,7 @@ func NewServerWith(opts Options) *Server {
 	reg.Help("query_latency_seconds", "wire query handling latency")
 	reg.Help("streams_stale", "streams currently silent past the watchdog deadline")
 	reg.Help("watchdog_resync_requests_total", "resync requests pushed to sources")
+	s.hist = opts.History
 	if opts.Diag != nil {
 		s.diag = opts.Diag
 		d := s.diag
@@ -299,6 +307,10 @@ func (s *Server) ConfigureHealth(m *health.Monitor) error {
 // Health returns the monitor wired by ConfigureHealth (nil when health
 // is off).
 func (s *Server) Health() *health.Monitor { return s.monitor }
+
+// HistoryStore returns the telemetry history store passed via
+// Options.History (nil when history is off).
+func (s *Server) HistoryStore() *history.Store { return s.hist }
 
 // Diag returns the flight recorder armed via Options.Diag (nil when
 // diagnostics are off).
