@@ -9,14 +9,14 @@ GO ?= go
 # that `make bench-compare` gates against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 # The regression gate: benchmarks matching this pattern may not regress
 # ns/op by more than BENCH_MAXREGRESS percent against BENCH_BASE.
-BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced|HistoryRecord
+BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced|HistoryRecord|WALAppend
 BENCH_MAXREGRESS ?= 10
 
-.PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke
+.PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke recovery-smoke
 
 check: lint build race benchsmoke
 
@@ -43,12 +43,25 @@ lint: vet
 # burst, partition+heal, uplink blackout) and fails unless the protocol
 # re-converges within the recovery window, every SLO alert the run
 # raised has cleared by the end, AND every page produced a matching
-# incident bundle. The classic summary lands in chaos_summary.txt, the
-# alert log in health_summary.txt, the incident bundles in
-# chaos_bundles/, and the full finest-tier telemetry-history dump in
-# chaos_history.json; CI uploads all four as artifacts.
+# incident bundle. Everything generated lands under ./artifacts/ (the
+# gitignored scratch directory all smoke targets share): the classic
+# summary, the alert log, the incident bundles, and the full finest-tier
+# telemetry-history dump; CI uploads the directory wholesale.
 chaos-smoke:
-	$(GO) run ./cmd/streamkf chaos -out chaos_summary.txt -health-out health_summary.txt -bundle-dir chaos_bundles -history-out chaos_history.json
+	mkdir -p artifacts
+	$(GO) run ./cmd/streamkf chaos -out artifacts/chaos_summary.txt -health-out artifacts/health_summary.txt -bundle-dir artifacts/chaos_bundles -history-out artifacts/chaos_history.json
+
+# recovery-smoke is the end-to-end crash-recovery gate: build a real
+# kfserver, drive a workload into it over TCP with a write-ahead log
+# armed, SIGKILL it mid-flush, restart it on the same directory, and
+# fail unless recovery replayed the log, triggered zero watchdog resync
+# requests, kept the precision audit clean, and serves answers
+# byte-identical to a control server that never died. The WAL directory
+# and the JSON verdict land under ./artifacts/ for CI to upload.
+recovery-smoke:
+	mkdir -p artifacts
+	$(GO) build -o artifacts/kfserver ./cmd/kfserver
+	$(GO) run ./cmd/streamkf recovery -server artifacts/kfserver -wal-dir artifacts/recovery_wal -report artifacts/recovery_report.json
 
 build:
 	$(GO) build ./...

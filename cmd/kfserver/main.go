@@ -46,11 +46,23 @@
 // history pane), and embeds the trailing history of the implicated
 // series in every incident bundle.
 //
+// Durability: with -wal-dir the server appends every applied message
+// to a write-ahead log (internal/wal) in that directory, group-committed
+// on the -wal-flush cadence, and recovers the directory — newest
+// checkpoint, then the record tail — before accepting a single
+// connection. -checkpoint-every writes periodic predictor-snapshot
+// checkpoints that bound replay time and prune covered segments. A
+// SIGKILL loses at most one flush interval of traffic, which the
+// protocol absorbs: reconnecting sources resync and the monotonic-tick
+// guard drops re-sent duplicates (wal_* metrics track the log;
+// `make recovery-smoke` gates the whole loop in CI).
+//
 // Usage:
 //
 //	kfserver [-addr :9653] [-http :9654] [-trace] [-logjson]
 //	         [-stale-after 5s] [-health-interval 1s] [-history-interval 1s]
 //	         [-bundle-dir dir]
+//	         [-wal-dir dir] [-wal-flush 100ms] [-checkpoint-every 30s]
 //
 // -stale-after arms the staleness watchdog: a registered stream with no
 // traffic for that long is marked stale (streams_stale gauge) and its
@@ -84,6 +96,9 @@ func main() {
 	healthInterval := flag.Duration("health-interval", time.Second, "SLO monitor tick interval; one rolling window closes per tick (0 = monitor off)")
 	historyInterval := flag.Duration("history-interval", time.Second, "telemetry history scrape interval; drives the multi-resolution rings behind /debug/history (0 = history off)")
 	bundleDir := flag.String("bundle-dir", "", "spool incident bundles to this directory (empty = memory-only ring)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: append every applied message, recover on startup (empty = no durability)")
+	walFlush := flag.Duration("wal-flush", 0, "group-commit fsync cadence for the write-ahead log (0 = default 100ms)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "write a predictor-snapshot checkpoint (pruning covered log segments) on this cadence (0 = never)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -159,7 +174,7 @@ func main() {
 		}
 		rec.AttachHistory(hist)
 	}
-	srv := wire.NewServerWith(wire.Options{
+	opts := wire.Options{
 		Logger:     logger,
 		Metrics:    telemetry.Default,
 		Trace:      journal,
@@ -167,8 +182,31 @@ func main() {
 		Health:     mon,
 		Diag:       rec,
 		History:    hist,
-	})
-	defer srv.StopWatchdog()
+	}
+	var srv *wire.Server
+	if *walDir != "" {
+		// Recovery runs inside the constructor: by the time we have a
+		// server to serve with, every durable stream is already restored.
+		srv, err = wire.NewDurableServer(opts, wire.Durability{
+			Dir:             *walDir,
+			FlushEvery:      *walFlush,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			logger.Error("wal open failed", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		st := srv.RecoveryStats()
+		logger.Info("wal recovered", "dir", *walDir,
+			"checkpoint_streams", st.CheckpointStreams,
+			"records_replayed", st.RecordsReplayed,
+			"segments_scanned", st.SegmentsScanned)
+	} else {
+		srv = wire.NewServerWith(opts)
+	}
+	// Close stops the watchdog and, when durable, the flusher — with a
+	// final sync so a graceful shutdown loses nothing.
+	defer srv.Close()
 	if mon != nil {
 		mon.Start(*healthInterval)
 		defer mon.Stop()

@@ -44,6 +44,8 @@ func main() {
 		err = cmdSelfcheck(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "recovery":
+		err = cmdRecovery(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
 	case "graph":
@@ -97,6 +99,16 @@ commands:
                                     restored within the window, an SLO
                                     alert never clears, or a page fires
                                     without a matching incident bundle
+  recovery -server BIN [-ticks N] [-streams N] [-wal-dir DIR] [-report FILE]
+                                    crash-recovery smoke: spawn a kfserver
+                                    with a write-ahead log, drive a workload
+                                    over TCP, SIGKILL it mid-flush, restart
+                                    it on the same directory, and assert
+                                    recovery replayed the log, triggered no
+                                    resync storm, kept the audit clean, and
+                                    serves answers byte-identical to a
+                                    server that never died; exits nonzero
+                                    otherwise
   top [-http H:P] [-interval D] [-n N]
                                     live ANSI dashboard over a kfserver's
                                     /debug/health: per-SLO burn rates with

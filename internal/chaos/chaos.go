@@ -45,6 +45,13 @@ type Fault struct {
 	// FeedbackDropProb impairs the server→source feedback channel, so
 	// watchdog resync requests themselves get lost.
 	FeedbackDropProb float64
+	// Restart kills and recovers the server at tick From (Until is
+	// ignored): the WAL is synced, every replica dropped wholesale, and
+	// the durable state replayed — SIGKILL at a flush boundary. Requires
+	// Config.WALDir; cannot be combined with link impairments in the
+	// same fault entry (schedule a separate fault for that). Streams is
+	// ignored: a crash takes the whole server.
+	Restart bool
 	// Streams limits the fault to the named streams (all when empty) —
 	// a partial blackout impairs a subset while the rest stay healthy,
 	// which is what lets the harness assert that incident bundles
@@ -71,6 +78,9 @@ func (f Fault) String() string {
 	}
 	if f.FeedbackDropProb > 0 {
 		parts = append(parts, fmt.Sprintf("fb-drop %.0f%%", 100*f.FeedbackDropProb))
+	}
+	if f.Restart {
+		parts = append(parts, "server restart")
 	}
 	if len(parts) == 0 {
 		parts = append(parts, "clean")
@@ -110,6 +120,10 @@ func (s Schedule) Validate() error {
 		}
 		if f.DelayTicks < 0 {
 			return fmt.Errorf("chaos: fault %d (%s): negative delay", i, f.Name)
+		}
+		if f.Restart && (f.DropProb > 0 || f.DelayTicks > 0 || f.DuplicateProb > 0 ||
+			f.ReorderProb > 0 || f.Partition || f.FeedbackDropProb > 0) {
+			return fmt.Errorf("chaos: fault %d (%s): restart cannot combine with link impairments", i, f.Name)
 		}
 	}
 	return nil
@@ -229,6 +243,15 @@ type Config struct {
 	// a pure observer (armed and unarmed runs must produce
 	// byte-identical summaries).
 	DisableHistory bool
+	// WALDir enables the durability layer (core.SystemConfig.WALDir):
+	// required for schedules with Restart faults, and asserted to be a
+	// pure observer otherwise — a run with the log on produces a
+	// byte-identical Summary to the same run with it off.
+	WALDir string
+	// CheckpointEveryTicks writes a predictor-snapshot checkpoint on
+	// this cadence (0 = never), bounding how much of the log a restart
+	// replays.
+	CheckpointEveryTicks int64
 }
 
 func (c Config) withDefaults() Config {
@@ -316,6 +339,19 @@ type Report struct {
 	// behind `streamkf chaos -history-out`. Never rendered by the
 	// summaries, so the byte-identity control arms stay valid.
 	History *history.DumpPayload
+	// Durability fields (RecoverySummary; never rendered by Summary, so
+	// a restart run can be compared byte-for-byte against a control that
+	// never died). Restarts counts executed Restart faults;
+	// RestoredStreams and ReplayedRecords aggregate what their
+	// recoveries restored from checkpoints and replayed from the log;
+	// PostRestartResyncRequests counts watchdog resync requests first
+	// observed at or after the first restart — the resync-storm signal,
+	// which recovery from the log must keep at zero on an otherwise
+	// healthy run.
+	Restarts                  int64
+	RestoredStreams           int64
+	ReplayedRecords           int64
+	PostRestartResyncRequests int64
 }
 
 // Summary renders the report as the plain-text block the chaos smoke
@@ -378,6 +414,19 @@ func (r Report) BundleSummary() string {
 	return b.String()
 }
 
+// RecoverySummary renders the durability view of the run: what each
+// server restart restored and replayed, and whether recovery stayed
+// storm-free. Kept separate from Summary so a restart run's classic
+// artifact can be compared byte-for-byte against a never-killed
+// control's.
+func (r Report) RecoverySummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "durability: %d server restarts, %d streams restored from checkpoint, %d records replayed\n",
+		r.Restarts, r.RestoredStreams, r.ReplayedRecords)
+	fmt.Fprintf(&b, "post-restart resync requests: %d\n", r.PostRestartResyncRequests)
+	return b.String()
+}
+
 // StreamID is the stream a chaos run attaches.
 const StreamID = "chaos-1"
 
@@ -396,6 +445,15 @@ func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Schedule.Validate(); err != nil {
 		return Report{}, err
+	}
+	hasRestart := false
+	for _, f := range cfg.Schedule {
+		if f.Restart {
+			hasRestart = true
+		}
+	}
+	if hasRestart && cfg.WALDir == "" {
+		return Report{}, fmt.Errorf("chaos: schedule has restart faults but Config.WALDir is unset")
 	}
 	tr := cfg.Trace
 	if tr == nil {
@@ -457,13 +515,15 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 	sys, err := core.NewSystem(core.SystemConfig{
-		Trace:            tr,
-		Audit:            true,
-		Telemetry:        reg,
-		Health:           mon,
-		Diag:             rec,
-		CoalesceUplink:   cfg.Coalesce,
-		TelemetryHistory: hist,
+		Trace:                tr,
+		Audit:                true,
+		Telemetry:            reg,
+		Health:               mon,
+		Diag:                 rec,
+		CoalesceUplink:       cfg.Coalesce,
+		TelemetryHistory:     hist,
+		WALDir:               cfg.WALDir,
+		CheckpointEveryTicks: cfg.CheckpointEveryTicks,
 	})
 	if err != nil {
 		return Report{}, err
@@ -547,8 +607,33 @@ func Run(cfg Config) (Report, error) {
 
 	cur := make([]linkSettings, len(ids))
 	wasStale := make([]bool, len(ids))
+	var preRestartResyncReqs int64
 run:
 	for tick := int64(0); tick < cfg.Ticks; tick++ {
+		for _, f := range cfg.Schedule {
+			if !f.Restart || f.From != tick {
+				continue
+			}
+			// The kill lands at a flush boundary: sync, then drop the
+			// server wholesale and recover it from the directory. The
+			// sources, links, auditor, and clock ride through — they are
+			// remote from the server's point of view.
+			if rep.Restarts == 0 {
+				for _, h := range handles {
+					preRestartResyncReqs += h.Stats().ResyncRequests
+				}
+			}
+			if err := sys.SyncWAL(); err != nil {
+				return rep, err
+			}
+			stats, rerr := sys.RestartServer()
+			if rerr != nil {
+				return rep, fmt.Errorf("chaos: restart at tick %d: %w", tick, rerr)
+			}
+			rep.Restarts++
+			rep.RestoredStreams += int64(stats.CheckpointStreams)
+			rep.ReplayedRecords += int64(stats.RecordsReplayed)
+		}
 		for i, h := range handles {
 			if ls := cfg.Schedule.at(tick, ids[i]); ls != cur[i] {
 				cur[i] = ls
@@ -623,6 +708,9 @@ run:
 				rep.Audit.LastViolationTick = st.LastViolationTick
 			}
 		}
+	}
+	if rep.Restarts > 0 {
+		rep.PostRestartResyncRequests = rep.ResyncRequests - preRestartResyncReqs
 	}
 	rep.LastViolation = rep.Audit.LastViolationTick
 	rep.Recovered = rep.LastViolation < rep.ClearTick+rep.RecoveryWindow

@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRestartRunByteIdenticalToControl is the kill/restart verdict: a
+// run whose server is killed and recovered from the WAL mid-run must
+// produce a byte-identical Summary to the same run that never died —
+// same corrections, same audit, same recovery-loop traffic — and the
+// restart itself must not trigger a resync storm.
+func TestRestartRunByteIdenticalToControl(t *testing.T) {
+	base := Config{Ticks: 1500, Streams: 2, CheckpointEveryTicks: 400}
+
+	restarted := base
+	restarted.WALDir = t.TempDir()
+	restarted.Schedule = Schedule{
+		{Name: "kill", From: 700, Until: 701, Restart: true},
+	}
+	rr, err := Run(restarted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := base
+	control.CheckpointEveryTicks = 0
+	cr, err := Run(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Summary deliberately excludes restart bookkeeping, so the two
+	// arms compare byte for byte — except the fault-clear framing, which
+	// reflects the schedule, not behaviour. Normalize that line.
+	norm := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, l := range lines {
+			if strings.HasPrefix(l, "bounded staleness:") {
+				lines[i] = "bounded staleness: <framing>"
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if got, want := norm(rr.Summary()), norm(cr.Summary()); got != want {
+		t.Fatalf("restart run diverged from control:\n--- restart ---\n%s\n--- control ---\n%s", got, want)
+	}
+	if !rr.Recovered {
+		t.Fatalf("restart run not recovered: %+v", rr)
+	}
+	if rr.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", rr.Restarts)
+	}
+	if rr.RestoredStreams != 2 {
+		t.Fatalf("RestoredStreams = %d, want 2 (checkpoint at tick 400 covers both)", rr.RestoredStreams)
+	}
+	if rr.ReplayedRecords == 0 {
+		t.Fatal("restart replayed nothing — the post-checkpoint tail is missing")
+	}
+	// The no-storm property: recovery restored watchdog liveness, so the
+	// restart triggers zero resync requests on a healthy run.
+	if rr.PostRestartResyncRequests != 0 {
+		t.Fatalf("restart triggered %d resync requests — a resync storm", rr.PostRestartResyncRequests)
+	}
+	if !strings.Contains(rr.RecoverySummary(), "1 server restarts") {
+		t.Fatalf("RecoverySummary missing restart count:\n%s", rr.RecoverySummary())
+	}
+}
+
+// TestRestartAfterLossBurstStillRecovers schedules a kill shortly after
+// a loss burst: the restart must replay the burst-era state faithfully
+// and the bounded-staleness verdict must still pass, byte-identical to
+// a control that suffered the same burst but never died.
+func TestRestartAfterLossBurstStillRecovers(t *testing.T) {
+	burst := Fault{Name: "loss-burst", From: 300, Until: 500, DropProb: 0.7}
+	base := Config{Ticks: 2000, CheckpointEveryTicks: 250}
+
+	restarted := base
+	restarted.WALDir = t.TempDir()
+	restarted.Schedule = Schedule{
+		burst,
+		{Name: "kill", From: 900, Until: 901, Restart: true},
+	}
+	rr, err := Run(restarted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := base
+	control.Schedule = Schedule{burst}
+	cr, err := Run(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, l := range lines {
+			if strings.HasPrefix(l, "bounded staleness:") {
+				lines[i] = "bounded staleness: <framing>"
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if got, want := norm(rr.Summary()), norm(cr.Summary()); got != want {
+		t.Fatalf("restart-after-burst run diverged from control:\n--- restart ---\n%s\n--- control ---\n%s", got, want)
+	}
+	if !rr.Recovered || !cr.Recovered {
+		t.Fatalf("verdicts: restart %v, control %v — want both recovered", rr.Recovered, cr.Recovered)
+	}
+	if rr.PostRestartResyncRequests != 0 {
+		t.Fatalf("clean-window restart triggered %d resync requests", rr.PostRestartResyncRequests)
+	}
+}
+
+// TestWALRunByteIdenticalToControl asserts the durability layer is a
+// pure observer: logging every message (and checkpointing) without ever
+// crashing changes nothing the Summary renders.
+func TestWALRunByteIdenticalToControl(t *testing.T) {
+	base := Config{Ticks: 1200, Schedule: Schedule{
+		{Name: "loss-burst", From: 200, Until: 350, DropProb: 0.6},
+	}}
+	logged := base
+	logged.WALDir = t.TempDir()
+	logged.CheckpointEveryTicks = 300
+	lr, err := Run(logged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Summary() != cr.Summary() {
+		t.Fatalf("WAL-armed run diverged from control:\n--- armed ---\n%s\n--- control ---\n%s",
+			lr.Summary(), cr.Summary())
+	}
+}
+
+// TestRestartRequiresWALDir: a restart schedule without a log directory
+// is a configuration error, not a silent no-op.
+func TestRestartRequiresWALDir(t *testing.T) {
+	_, err := Run(Config{Ticks: 100, Schedule: Schedule{
+		{Name: "kill", From: 50, Until: 51, Restart: true},
+	}})
+	if err == nil {
+		t.Fatal("restart without WALDir accepted")
+	}
+}
+
+// TestRestartCannotCombineWithImpairments: the validator rejects a
+// fault entry that both kills the server and impairs links.
+func TestRestartCannotCombineWithImpairments(t *testing.T) {
+	err := Schedule{
+		{Name: "bad", From: 10, Until: 20, Restart: true, DropProb: 0.5},
+	}.Validate()
+	if err == nil {
+		t.Fatal("restart+impairment fault accepted")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
+	"kalmanstream/internal/wal"
 )
 
 // PredictorSpec describes the replicated prediction procedure for a
@@ -233,6 +234,19 @@ type SystemConfig struct {
 	// and allocation-free, so an armed recorder leaves the tick
 	// pipeline's performance and results untouched.
 	Diag *diag.Recorder
+	// WALDir enables the durability layer: every applied message is
+	// appended to a write-ahead log in this directory and synced at each
+	// tick boundary, so the server half of the system can be killed and
+	// rebuilt mid-run (System.RestartServer) with byte-identical state.
+	// Empty leaves durability off.
+	WALDir string
+	// WALSegmentBytes overrides the log's segment-rotation threshold
+	// (0 = the wal package default).
+	WALSegmentBytes int
+	// CheckpointEveryTicks writes a predictor-snapshot checkpoint (and
+	// prunes the covered log prefix) every N ticks during Advance
+	// (0 = never; CheckpointWAL can still be called explicitly).
+	CheckpointEveryTicks int64
 	// CoalesceUplink routes every uplink delivery through the batched
 	// message codec: a stream's matured messages encode into a pending
 	// per-stream batch instead of applying one at a time, and the system
@@ -277,6 +291,13 @@ type System struct {
 	linkDirty  bool
 
 	coalesce bool
+
+	// Durability wiring (nil/zero when SystemConfig.WALDir was unset).
+	walLog       *wal.Log
+	walDir       string
+	walSegB      int
+	walReg       *telemetry.Registry
+	walCkptEvery int64
 }
 
 // Predicate is a continuous range condition on a stream.
@@ -327,6 +348,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			s.shardTasks[i] = func() { s.srv.TickShard(i) }
 		}
 	}
+	if cfg.WALDir != "" {
+		if err := s.openWAL(cfg); err != nil {
+			return nil, err
+		}
+	}
 	s.eng = query.New(s.srv)
 	s.subs = s.eng.NewSubscriptions()
 	if cfg.BudgetPerTick > 0 {
@@ -359,6 +385,9 @@ type StreamHandle struct {
 	// the watchdog is off.
 	fb   *netsim.Link
 	norm Norm // gate norm, reused by the precision auditor
+	// wdDeadline remembers the armed watchdog deadline (0 = off) so a
+	// server restart can re-arm it — watchdog state is volatile.
+	wdDeadline int64
 	// coal batches this stream's uplink deliveries when the system runs
 	// with CoalesceUplink; nil otherwise.
 	coal *netsim.Coalescer
@@ -442,6 +471,18 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 			_ = s.srv.Unregister(cfg.ID)
 			return nil, err
 		}
+		h.wdDeadline = deadline
+	}
+	if s.walLog != nil {
+		// Durable registration: the replayed messages that follow in the
+		// log have no stream to land on without it. Norm rides along —
+		// unlike the wire protocol, core sets it out of band.
+		if err := s.walLog.AppendRegister(wal.RegisterRecord{
+			ID: cfg.ID, Spec: cfg.Predictor, Delta: cfg.Delta, Norm: int(cfg.DeviationNorm),
+		}); err != nil {
+			_ = s.srv.Unregister(cfg.ID)
+			return nil, err
+		}
 	}
 	if s.coord != nil {
 		if err := s.coord.Manage(src, resource.ManagedOptions{
@@ -473,6 +514,14 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 // identical to the serial pipeline.
 func (s *System) Advance() error {
 	t := s.tick.Load()
+	if s.walLog != nil {
+		// Tick-boundary group commit: everything applied since the last
+		// Advance — the previous tick's link deliveries and Observe
+		// corrections — becomes durable before the clock moves.
+		if err := s.walLog.Sync(); err != nil {
+			return err
+		}
+	}
 	if t > 0 {
 		if err := s.subs.Poll(t - 1); err != nil {
 			return err
@@ -508,6 +557,13 @@ func (s *System) Advance() error {
 		}
 	}
 	s.tick.Add(1)
+	if s.walLog != nil && s.walCkptEvery > 0 && s.tick.Load()%s.walCkptEvery == 0 {
+		// Advance runs with no concurrent Observes (the driving protocol),
+		// so the captured states and sequence agree.
+		if err := s.CheckpointWAL(); err != nil {
+			return err
+		}
+	}
 	if s.health != nil {
 		s.health.Tick()
 	}

@@ -1,0 +1,151 @@
+// Durability support: the hooks and restore paths the write-ahead log
+// (internal/wal) uses to persist and recover the replica cache. The
+// server itself stays storage-agnostic — it exposes an apply hook fired
+// under the shard lock (so appends observe exactly the apply order),
+// checkpoint capture, and quiet replay primitives; the wal package and
+// the wire/core layers own the files and the recovery protocol.
+
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/predictor"
+	"kalmanstream/internal/source"
+	"kalmanstream/internal/wal"
+)
+
+// SetApplyHook installs fn, called under the stream's shard write lock
+// after every successfully applied message (corrections, resyncs, and
+// heartbeats alike — heartbeats move lastCorr, so recovery must replay
+// them to reproduce watchdog state exactly). tick is the stream's
+// server tick at apply time. fn must be cheap, non-blocking, and must
+// not call back into the server; the wal group-commit append (buffer
+// only, no I/O) satisfies that. Install before traffic; nil disarms.
+//
+// Replay paths (ReplayMessage) never fire the hook: recovery must not
+// re-log the records it is reading.
+func (s *Server) SetApplyHook(fn func(tick int64, m *netsim.Message)) { s.onApply = fn }
+
+// CheckpointStates captures every stream's full durable state, sorted
+// by stream ID. Call at a quiescent point: no concurrent applies whose
+// log records would be misattributed around the checkpoint's sequence
+// (the wire server holds its big lock; the core system checkpoints
+// between ticks).
+func (s *Server) CheckpointStates() []wal.StreamState {
+	out := make([]wal.StreamState, 0, s.Len())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.order {
+			cs := wal.StreamState{
+				ID:            st.id,
+				Spec:          st.spec,
+				RegisterDelta: st.registerDelta,
+				Delta:         st.delta,
+				Norm:          int(st.norm),
+				Tick:          st.tick,
+				LastCorr:      st.lastCorr,
+				Corrections:   st.corrections,
+				LastValueTick: st.lastValueTick,
+			}
+			if st.lastValue != nil {
+				cs.LastValue = append([]float64(nil), st.lastValue...)
+			}
+			if snap, ok := st.replica.(predictor.Snapshotter); ok {
+				cs.Snapshot = snap.Snapshot()
+			}
+			out = append(out, cs)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RestoreStream re-creates one stream from a checkpoint state: the
+// replica is rebuilt from the registered spec, its snapshot restored,
+// and every piece of server bookkeeping set to the captured values.
+// The watchdog is left disarmed — re-arm it (and only then resume
+// ticking) after recovery completes, so a replayed silent stretch
+// cannot fire spurious resync requests.
+func (s *Server) RestoreStream(cs wal.StreamState) error {
+	if err := s.Register(cs.ID, cs.Spec, cs.RegisterDelta); err != nil {
+		return err
+	}
+	sh := s.shardFor(cs.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.streams[cs.ID]
+	st.delta = cs.Delta
+	st.norm = source.Norm(cs.Norm)
+	st.tick = cs.Tick
+	st.lastCorr = cs.LastCorr
+	st.corrections = cs.Corrections
+	st.lastValueTick = cs.LastValueTick
+	if len(cs.LastValue) > 0 {
+		st.lastValue = append([]float64(nil), cs.LastValue...)
+	}
+	if len(cs.Snapshot) > 0 {
+		snap, ok := st.replica.(predictor.Snapshotter)
+		if !ok {
+			return fmt.Errorf("server: %s predictor (%s) cannot restore snapshots", cs.ID, st.replica.Name())
+		}
+		if err := snap.Restore(cs.Snapshot); err != nil {
+			return fmt.Errorf("server: restoring %s snapshot: %w", cs.ID, err)
+		}
+	}
+	return nil
+}
+
+// ReplayMessage re-applies one logged message during recovery: the
+// replica is stepped quietly to the recorded apply tick (no history
+// archiving, no watchdog checks — those effects either belong to
+// subsystems that are not durable or were already delivered before the
+// crash) and the message applied without firing the durability hook.
+func (s *Server) ReplayMessage(tick int64, m *netsim.Message) error {
+	sh := s.shardFor(m.StreamID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[m.StreamID]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, m.StreamID)
+	}
+	for st.tick < tick {
+		st.replica.Step()
+		st.tick++
+	}
+	return s.applyMessageLocked(st, m)
+}
+
+// CatchUp quietly steps a stream's replica forward to the target tick —
+// the recovery epilogue that brings replayed streams level with the
+// system clock before watchdogs re-arm and ticking resumes.
+func (s *Server) CatchUp(id string, tick int64) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[id]
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownStream, id)
+	}
+	for st.tick < tick {
+		st.replica.Step()
+		st.tick++
+	}
+	return nil
+}
+
+// Reset drops every stream while keeping telemetry, trace, and hook
+// wiring — the in-process stand-in for a crashed server about to
+// recover from its log.
+func (s *Server) Reset() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.streams = make(map[string]*streamState)
+		sh.order = nil
+		sh.size.Store(0)
+		sh.mu.Unlock()
+	}
+}

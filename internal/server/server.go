@@ -67,13 +67,18 @@ type StreamInfo struct {
 }
 
 type streamState struct {
-	id          string
-	replica     predictor.Predictor
-	delta       float64
-	norm        source.Norm
-	tick        int64
-	lastCorr    int64
-	corrections int64
+	id      string
+	replica predictor.Predictor
+	// spec and registerDelta preserve the original registration so the
+	// durability layer can checkpoint a re-buildable description of the
+	// replica (delta below may drift under budget management).
+	spec          predictor.Spec
+	registerDelta float64
+	delta         float64
+	norm          source.Norm
+	tick          int64
+	lastCorr      int64
+	corrections   int64
 	// lastValue holds the most recent correction's measurement and
 	// lastValueTick the server tick at which it arrived. On that tick the
 	// server answers with the measurement itself (error bound 0), since a
@@ -130,6 +135,10 @@ type Server struct {
 	// onStale, when set, fires once per newly-stale stream from the
 	// watchdog, under the shard lock — see SetStaleHook.
 	onStale func(id string)
+	// onApply, when set, fires after every successfully applied message,
+	// under the shard lock — the write-ahead log's append hook. See
+	// SetApplyHook.
+	onApply func(tick int64, m *netsim.Message)
 }
 
 // SetStaleHook installs fn to be called each time the watchdog marks a
@@ -223,7 +232,8 @@ func (s *Server) Register(id string, spec predictor.Spec, delta float64) error {
 	if err != nil {
 		return fmt.Errorf("server: building replica for %s: %w", id, err)
 	}
-	st := &streamState{id: id, replica: replica, delta: delta, lastCorr: -1, lastValueTick: -1}
+	st := &streamState{id: id, replica: replica, spec: spec, registerDelta: delta,
+		delta: delta, lastCorr: -1, lastValueTick: -1}
 	if s.tel != nil {
 		st.telQueries = s.tel.Counter("server_queries_total", "stream", id)
 		st.telStaleness = s.tel.Histogram("query_staleness_ticks", telemetry.StalenessBuckets, "stream", id)
@@ -312,6 +322,20 @@ func (s *Server) Apply(m *netsim.Message) error {
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownStream, m.StreamID)
 	}
+	if err := s.applyMessageLocked(st, m); err != nil {
+		return err
+	}
+	if s.onApply != nil {
+		s.onApply(st.tick, m)
+	}
+	return nil
+}
+
+// applyMessageLocked performs the state update for one message, under
+// the shard write lock. Shared by Apply (which additionally fires the
+// durability hook) and ReplayMessage (which must not — replaying a
+// record back into the log would double it).
+func (s *Server) applyMessageLocked(st *streamState, m *netsim.Message) error {
 	switch m.Kind {
 	case netsim.KindCorrection:
 		if err := st.replica.Correct(m.Value); err != nil {

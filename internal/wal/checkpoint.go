@@ -1,0 +1,148 @@
+// Checkpoints: a durable snapshot of every stream's replica state plus
+// the log sequence it covers. Recovery restores the newest checkpoint
+// and replays only the records after Seq, so recovery time is bounded
+// by the checkpoint interval rather than the log's lifetime. The write
+// protocol is the classic temp-file + fsync + rename + dir-fsync dance:
+// a checkpoint either exists completely or not at all, and the previous
+// one survives until its successor is durable.
+
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kalmanstream/internal/predictor"
+)
+
+// StreamState is one stream's full durable state: enough to rebuild
+// the replica (Spec + Snapshot) and the server's bookkeeping around it.
+type StreamState struct {
+	ID string `json:"id"`
+	// Spec and RegisterDelta reproduce the original registration, which
+	// a reconnecting source's idempotent re-register is checked against.
+	Spec          predictor.Spec `json:"spec"`
+	RegisterDelta float64        `json:"registerDelta"`
+	// Delta is the current (possibly budget-adjusted) precision bound.
+	Delta float64 `json:"delta"`
+	// Norm is the gate norm's integer code (source.Norm).
+	Norm int `json:"norm,omitempty"`
+	// Tick is the number of time steps the replica has taken.
+	Tick int64 `json:"tick"`
+	// LastCorr is the tick of the last applied correction (-1 = none).
+	LastCorr    int64 `json:"lastCorr"`
+	Corrections int64 `json:"corrections"`
+	// LastValue and LastValueTick reproduce the exact-answer window: on
+	// the tick a correction arrived the server answers with the shipped
+	// measurement itself, bound 0.
+	LastValue     []float64 `json:"lastValue,omitempty"`
+	LastValueTick int64     `json:"lastValueTick"`
+	// Snapshot is the predictor's flat state vector
+	// (predictor.Snapshotter layout for Spec's kind).
+	Snapshot []float64 `json:"snapshot,omitempty"`
+}
+
+// Checkpoint is the durable snapshot of the whole replica cache as of
+// log sequence Seq: the effects of records [0, Seq) are included, so
+// recovery replays from Seq.
+type Checkpoint struct {
+	Seq     uint64        `json:"seq"`
+	Streams []StreamState `json:"streams"`
+}
+
+// WriteCheckpoint makes c durable and prunes segments and checkpoints
+// it fully covers. The caller must have captured c at a quiescent
+// point: every record with index < c.Seq applied, none of its effects
+// missing. Records up to c.Seq are synced first, so a crash anywhere in
+// this sequence leaves either the old checkpoint with a full log, or
+// the new one with a prunable prefix — never a gap.
+func (l *Log) WriteCheckpoint(c *Checkpoint) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	start := time.Now()
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("wal: encoding checkpoint: %w", err)
+	}
+	final := filepath.Join(l.dir, fmt.Sprintf("checkpoint-%020d.ckpt", c.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating %s: %w", tmp, err)
+	}
+	if _, err = f.Write(appendRecord(nil, recCheckpoint, int64(c.Seq), payload)); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.ckpt = c
+	err = l.pruneLocked(c.Seq, final)
+	l.mu.Unlock()
+	l.telCkpts.Inc()
+	l.telCkpt.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// pruneLocked removes checkpoints older than keep and every segment
+// whose records all precede seq (the active segment always survives).
+// Caller holds mu.
+func (l *Log) pruneLocked(seq uint64, keep string) error {
+	old, err := filepath.Glob(filepath.Join(l.dir, "checkpoint-*.ckpt"))
+	if err != nil {
+		return err
+	}
+	for _, path := range old {
+		if path != keep {
+			_ = os.Remove(path)
+		}
+	}
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		last := i == len(l.segs)-1
+		if !last && l.segs[i+1].start <= seq {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: pruning %s: %w", seg.path, err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return syncDir(l.dir)
+}
+
+// loadCheckpoint reads and validates one checkpoint file.
+func loadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	typ, _, payload, size, ok := decodeRecord(data)
+	if !ok || typ != recCheckpoint || size != len(data) {
+		return nil, fmt.Errorf("wal: checkpoint record torn or corrupt")
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("wal: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,206 @@
+// Durable wire server: the glue between the connection layer and the
+// write-ahead log. NewDurableServer recovers the directory before the
+// server can accept a single frame, installs the apply hook that logs
+// every applied message, and runs the flusher/checkpointer loop. The
+// ordering invariants live here:
+//
+//   - recovery happens with s.wal still nil, so replaying a logged
+//     registration or message can never re-append it;
+//   - the apply hook and registration logging both run under s.mu (the
+//     hook additionally under the replica shard lock), so log order is
+//     exactly apply order;
+//   - checkpoints capture under s.mu (no in-flight applies) but write
+//     outside it, so a slow fsync never stalls the data path.
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"kalmanstream/internal/netsim"
+	"kalmanstream/internal/wal"
+)
+
+// DefaultFlushEvery is the group-commit fsync cadence when
+// Durability.FlushEvery is zero: short enough that a crash loses a
+// barely-visible sliver of traffic, long enough to amortize the fsync
+// over many corrections.
+const DefaultFlushEvery = 100 * time.Millisecond
+
+// Durability configures the write-ahead log for NewDurableServer.
+type Durability struct {
+	// Dir is the log directory. Required.
+	Dir string
+	// CheckpointEvery writes a full predictor-snapshot checkpoint (and
+	// prunes covered segments) on this cadence. Zero disables periodic
+	// checkpoints; Checkpoint can still be called explicitly.
+	CheckpointEvery time.Duration
+	// FlushEvery is the group-commit fsync cadence (0 =
+	// DefaultFlushEvery). A crash loses at most this much traffic, which
+	// the protocol absorbs: reconnecting sources force a full resync and
+	// the monotonic-tick guard drops re-sent duplicates.
+	FlushEvery time.Duration
+	// SegmentBytes is the segment-rotation threshold (0 = wal default).
+	SegmentBytes int
+}
+
+// NewDurableServer opens (or recovers) the log directory in d.Dir,
+// replays it into a fresh server, and only then wires up logging and
+// starts the flusher/checkpointer. Call Close on shutdown.
+func NewDurableServer(opts Options, d Durability) (*Server, error) {
+	if d.Dir == "" {
+		return nil, fmt.Errorf("wire: durability needs a directory")
+	}
+	s := NewServerWith(opts)
+	log, err := wal.Open(wal.Options{
+		Dir:          d.Dir,
+		SegmentBytes: d.SegmentBytes,
+		Registry:     s.reg,
+		Logger:       opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats, err := s.recover(log)
+	if err != nil {
+		_ = log.Close()
+		return nil, fmt.Errorf("wire: recovering %s: %w", d.Dir, err)
+	}
+	s.lastRecovery = stats
+	s.wal = log
+	s.srv.SetApplyHook(func(tick int64, m *netsim.Message) {
+		// Buffer-only append under the shard lock; the loop below makes
+		// it durable. An error here is an encode bug, not an I/O failure.
+		if err := log.AppendMessage(tick, m); err != nil {
+			s.logw("wire: wal append failed", "stream", m.StreamID, "err", err)
+		}
+	})
+	flush := d.FlushEvery
+	if flush <= 0 {
+		flush = DefaultFlushEvery
+	}
+	s.walStop = make(chan struct{})
+	s.walDone = make(chan struct{})
+	go s.durabilityLoop(flush, d.CheckpointEvery)
+	return s, nil
+}
+
+// recover replays the log directory into the (empty) server: the newest
+// checkpoint restores every stream wholesale, then the records after
+// its sequence replay through the same locked paths live traffic uses.
+// Runs before s.wal is set, so nothing re-appends.
+func (s *Server) recover(log *wal.Log) (wal.RecoveryStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var scratch netsim.Message
+	return log.Restore(
+		func(c *wal.Checkpoint) error {
+			now := time.Now()
+			for _, cs := range c.Streams {
+				if err := s.srv.RestoreStream(cs); err != nil {
+					return err
+				}
+				s.specs[cs.ID] = RegisterPayload{ID: cs.ID, Spec: cs.Spec, Delta: cs.RegisterDelta}
+				s.advanced[cs.ID] = cs.Tick
+				// lastMsg = now: the stream is exactly as live as the server
+				// is. Restarting must not instantly declare every stream
+				// stale and blast resync requests — the no-resync-storm
+				// property the chaos verdict checks. lastTick = LastCorr
+				// keeps the monotonic-tick dedupe guard exact: every applied
+				// kind records its tick in both places.
+				s.health[cs.ID] = &streamHealth{lastMsg: now, lastTick: cs.LastCorr}
+				s.streams[cs.ID] = &streamTel{
+					sent:       s.reg.Counter("corrections_sent_total", "stream", cs.ID),
+					suppressed: s.reg.Counter("corrections_suppressed_total", "stream", cs.ID),
+				}
+				s.reg.Gauge("stream_delta", "stream", cs.ID).Set(cs.Delta)
+			}
+			return nil
+		},
+		func(typ wal.RecordType, _ int64, payload []byte) error {
+			switch typ {
+			case wal.RecRegister:
+				rec, err := wal.DecodeRegister(payload)
+				if err != nil {
+					return err
+				}
+				return s.registerLocked(RegisterPayload{ID: rec.ID, Spec: rec.Spec, Delta: rec.Delta}, nil)
+			case wal.RecMessage:
+				if err := netsim.DecodeInto(&scratch, payload); err != nil {
+					return err
+				}
+				// applyLocked reproduces the original apply exactly:
+				// advanceTo the message tick, apply, and the same telemetry
+				// bookkeeping — the recovered server's counters match one
+				// that never died.
+				return s.applyLocked(&scratch)
+			default:
+				return fmt.Errorf("wire: unexpected wal record type %d", typ)
+			}
+		})
+}
+
+// RecoveryStats reports what the constructor's recovery pass restored
+// and replayed (zero value when the directory was empty or the server
+// is not durable).
+func (s *Server) RecoveryStats() wal.RecoveryStats { return s.lastRecovery }
+
+// WAL returns the server's write-ahead log (nil when not durable).
+func (s *Server) WAL() *wal.Log { return s.wal }
+
+// Checkpoint captures every stream's state at a quiescent point and
+// writes it durably, pruning the log prefix it covers.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return fmt.Errorf("wire: server has no write-ahead log")
+	}
+	s.mu.Lock()
+	c := &wal.Checkpoint{Seq: s.wal.Seq(), Streams: s.srv.CheckpointStates()}
+	s.mu.Unlock()
+	return s.wal.WriteCheckpoint(c)
+}
+
+// durabilityLoop is the group-commit flusher and periodic checkpointer.
+func (s *Server) durabilityLoop(flush, ckpt time.Duration) {
+	defer close(s.walDone)
+	ft := time.NewTicker(flush)
+	defer ft.Stop()
+	var ckptC <-chan time.Time
+	if ckpt > 0 {
+		ct := time.NewTicker(ckpt)
+		defer ct.Stop()
+		ckptC = ct.C
+	}
+	for {
+		select {
+		case <-s.walStop:
+			return
+		case <-ft.C:
+			if err := s.wal.Sync(); err != nil {
+				s.logw("wire: wal sync failed", "err", err)
+			}
+		case <-ckptC:
+			if err := s.Checkpoint(); err != nil {
+				s.logw("wire: checkpoint failed", "err", err)
+			}
+		}
+	}
+}
+
+// Close shuts the server's background machinery down: the staleness
+// watchdog, then the durability loop, then a final sync-and-close of
+// the log so everything applied so far survives the restart. Safe on a
+// non-durable server (watchdog-only shutdown) and safe to call twice.
+func (s *Server) Close() error {
+	s.StopWatchdog()
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	s.walClose.Do(func() {
+		close(s.walStop)
+		<-s.walDone
+		err = s.wal.Close()
+	})
+	return err
+}

@@ -22,6 +22,7 @@ import (
 	"kalmanstream/internal/server"
 	"kalmanstream/internal/telemetry"
 	"kalmanstream/internal/trace"
+	"kalmanstream/internal/wal"
 )
 
 // RegisterPayload announces a stream to the server; the source and server
@@ -139,6 +140,15 @@ type Server struct {
 	monitor *health.Monitor
 	diag    *diag.Recorder
 	hist    *history.Store
+
+	// wal is the durability log (nil when the server is not durable).
+	// NewDurableServer sets it only after recovery has replayed the
+	// directory, so replay paths never append.
+	wal          *wal.Log
+	walStop      chan struct{}
+	walDone      chan struct{}
+	walClose     sync.Once
+	lastRecovery wal.RecoveryStats
 }
 
 // Options configures a wire server beyond the defaults.
@@ -528,6 +538,14 @@ func (s *Server) Register(p RegisterPayload) error {
 func (s *Server) register(p RegisterPayload, owner *connWriter) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.registerLocked(p, owner)
+}
+
+// registerLocked is register's body; the caller holds mu. Recovery
+// replays logged registrations through it directly — the lock is
+// already held, and s.wal is still nil at that point, so replay cannot
+// re-log the records it is reading.
+func (s *Server) registerLocked(p RegisterPayload, owner *connWriter) error {
 	if prev, ok := s.specs[p.ID]; ok {
 		if !reflect.DeepEqual(prev.Spec, p.Spec) || prev.Delta != p.Delta {
 			return fmt.Errorf("wire: stream %q re-registered with a different spec or delta", p.ID)
@@ -542,6 +560,14 @@ func (s *Server) register(p RegisterPayload, owner *connWriter) error {
 	}
 	if err := s.srv.Register(p.ID, p.Spec, p.Delta); err != nil {
 		return err
+	}
+	if s.wal != nil {
+		// A registration is durable state like any correction: without it
+		// the replayed messages that follow have no stream to land on.
+		if err := s.wal.AppendRegister(wal.RegisterRecord{ID: p.ID, Spec: p.Spec, Delta: p.Delta}); err != nil {
+			_ = s.srv.Unregister(p.ID)
+			return fmt.Errorf("wire: logging registration: %w", err)
+		}
 	}
 	s.advanced[p.ID] = 0
 	s.specs[p.ID] = p
