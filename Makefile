@@ -9,14 +9,14 @@ GO ?= go
 # that `make bench-compare` gates against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_PR9.json
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_BASE ?= BENCH_PR9.json
 # The regression gate: benchmarks matching this pattern may not regress
 # ns/op by more than BENCH_MAXREGRESS percent against BENCH_BASE.
-BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced|HistoryRecord|WALAppend
+BENCH_GATE ?= SystemScale|MessageRoundTrip|MonitorTick|WindowSnapshot|TopKObserve|E8BudgetAllocation|WireCoalesced|HistoryRecord|WALAppend|LatencyRecord
 BENCH_MAXREGRESS ?= 10
 
-.PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke recovery-smoke
+.PHONY: check vet build test race benchsmoke bench bench-compare lint chaos-smoke recovery-smoke cover
 
 check: lint build race benchsmoke
 
@@ -62,6 +62,16 @@ recovery-smoke:
 	mkdir -p artifacts
 	$(GO) build -o artifacts/kfserver ./cmd/kfserver
 	$(GO) run ./cmd/streamkf recovery -server artifacts/kfserver -wal-dir artifacts/recovery_wal -report artifacts/recovery_report.json
+
+# cover runs the full test suite with an atomic-mode coverage profile
+# and writes both the raw profile and the per-function summary under
+# ./artifacts/ (the gitignored scratch directory all smoke targets
+# share); CI uploads the summary as a workflow artifact alongside
+# bench_ci.json.
+cover:
+	mkdir -p artifacts
+	$(GO) test -covermode=atomic -coverprofile=artifacts/cover.out ./...
+	$(GO) tool cover -func=artifacts/cover.out | tee artifacts/cover_summary.txt
 
 build:
 	$(GO) build ./...

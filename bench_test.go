@@ -15,6 +15,7 @@ import (
 
 	"kalmanstream/internal/core"
 	"kalmanstream/internal/diag"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/harness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
@@ -441,6 +442,23 @@ func BenchmarkHistoryRecord(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Observe(0.001)
 		st.Tick()
+	}
+}
+
+// BenchmarkLatencyRecord is the freshness hot path: skew-correcting one
+// origin stamp and folding the gate→apply span into the exemplar-bearing
+// latency histogram, exactly as the server's apply path does for every
+// stamped correction. Exemplar retention is sampled (first landing and
+// every 64th count per bucket), so the steady-state cost must stay a
+// couple of atomics over a plain histogram observe, with allocs/op
+// amortizing to ~0.
+func BenchmarkLatencyRecord(b *testing.B) {
+	f := freshness.NewRecorder(telemetry.New())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stamp := int64(i+1) * 1e6
+		f.RecordE2E(freshness.E2ESeconds(stamp, stamp+500_000, 0), uint64(i+1), "bench-1")
 	}
 }
 

@@ -17,7 +17,10 @@
 // at /metrics and as JSON at /debug/vars. With -trace the server also
 // journals the stream lifecycle (gate decisions ingested from sources,
 // replica applies, query serves) and serves it at /debug/trace, with
-// the online precision audit alongside. Go runtime profiles are always
+// the online precision audit alongside. The freshness surface — e2e
+// latency and staleness quantiles with resident exemplars, plus
+// per-connection clock-skew estimates — is at /debug/latency (sources
+// opt in with kfsource -stamp). Go runtime profiles are always
 // mounted at /debug/pprof/ on the HTTP mux. Diagnostics are structured
 // log/slog records on stderr.
 //
@@ -72,6 +75,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -79,7 +83,9 @@ import (
 	"os"
 	"time"
 
+	"kalmanstream/internal/buildinfo"
 	"kalmanstream/internal/diag"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 	"kalmanstream/internal/telemetry"
@@ -100,7 +106,15 @@ func main() {
 	walFlush := flag.Duration("wal-flush", 0, "group-commit fsync cadence for the write-ahead log (0 = default 100ms)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "write a predictor-snapshot checkpoint (pruning covered log segments) on this cadence (0 = never)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
+	version := flag.Bool("version", false, "print the build's VCS revision and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("kfserver"))
+		return
+	}
+	// Publish build identity and process start/uptime on the registry so
+	// /metrics and /debug/vars can tell a restart from a counter reset.
+	defer buildinfo.Register(telemetry.Default)()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -207,6 +221,10 @@ func main() {
 	// Close stops the watchdog and, when durable, the flusher — with a
 	// final sync so a graceful shutdown loses nothing.
 	defer srv.Close()
+	// Incident bundles carry the latency table and worst-exemplar trace.
+	rec.AttachFreshness(func() freshness.Snapshot {
+		return srv.Freshness().SnapshotNow(srv.ConnSkews)
+	})
 	if mon != nil {
 		mon.Start(*healthInterval)
 		defer mon.Stop()
@@ -250,6 +268,7 @@ func serveHTTP(addr string, srv *wire.Server, logger *slog.Logger) {
 		}
 	})
 	mux.Handle("/debug/trace", trace.Handler(srv.Trace(), srv.Auditor()))
+	mux.Handle("/debug/latency", freshness.Handler(srv.Freshness(), srv.ConnSkews))
 	if mon := srv.Health(); mon != nil {
 		mux.Handle("/healthz", health.LivenessHandler())
 		mux.Handle("/readyz", health.ReadyHandler(mon))

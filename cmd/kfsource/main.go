@@ -7,7 +7,15 @@
 //
 //	kfsource [-addr localhost:9653] [-id sensor-1] [-kind sine]
 //	         [-delta 0.5] [-n 10000] [-seed 1] [-interval 0] [-trace]
+//	         [-stamp]
 //	         [-reconnect] [-retry-max 8] [-retry-base 50ms] [-retry-cap 2s]
+//
+// -stamp stamps every shipped correction with an origin timestamp
+// (monotonic-anchored wall clock) carried in-band on the wire, and pings
+// the server periodically so it can estimate this host's clock skew; the
+// server's /debug/latency page then shows true gate→apply latency with
+// per-correction exemplars. Unstamped runs are byte-identical on the
+// wire to builds that predate the feature.
 //
 // -interval sets a real-time delay between ticks (e.g. 10ms); the default
 // of 0 replays as fast as possible. -trace journals every gate decision
@@ -31,6 +39,8 @@ import (
 	"strings"
 	"time"
 
+	"kalmanstream/internal/buildinfo"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
 	"kalmanstream/internal/stream"
@@ -54,7 +64,13 @@ func main() {
 	coalesce := flag.Bool("coalesce", false, "batch corrections into coalesced wire frames")
 	coalesceMax := flag.Int("coalesce-max", 16, "corrections per coalesced frame before a flush")
 	coalesceAfter := flag.Duration("coalesce-after", 5*time.Millisecond, "flush deadline for a partially filled batch (0 = none)")
+	stamp := flag.Bool("stamp", false, "stamp each shipped correction with an origin timestamp so the server measures end-to-end freshness (/debug/latency)")
+	version := flag.Bool("version", false, "print the build's VCS revision and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("kfsource"))
+		return
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).
 		With("component", "kfsource", "stream", *id)
@@ -125,12 +141,18 @@ func main() {
 		journal.SetEnabled(true)
 		cfg.Trace = journal
 	}
+	if *stamp {
+		// Stamped corrections carry the origin clock in-band; the
+		// networked source also pings periodically so the server can
+		// subtract this host's clock skew from every span.
+		cfg.Stamp = freshness.WallClock()
+	}
 	ns, err := wire.NewNetworkedSource(client, cfg)
 	if err != nil {
 		logger.Error("registration failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr, "trace", *traceOn, "coalesce", *coalesce)
+	logger.Info("registered", "kind", *kind, "delta", *delta, "addr", *addr, "trace", *traceOn, "coalesce", *coalesce, "stamp", *stamp)
 
 	// Mid-stream transport errors end the run gracefully rather than
 	// aborting: stop observing, flush a final stats line, close the

@@ -116,6 +116,20 @@ func renderBundle(b *diag.Bundle) string {
 		s.WriteString("\n")
 	}
 
+	if b.Latency != nil {
+		s.WriteString("\nlatency at capture:\n")
+		if e := b.Latency.E2E; e.Count > 0 {
+			fmt.Fprintf(&s, "  e2e       %8d spans  p50 %s  p95 %s  p99 %s\n",
+				e.Count, fmtSec(e.P50), fmtSec(e.P95), fmtSec(e.P99))
+		}
+		if st := b.Latency.Staleness; st.Count > 0 {
+			fmt.Fprintf(&s, "  staleness %8d spans  p50 %s  p95 %s  p99 %s\n",
+				st.Count, fmtSec(st.P50), fmtSec(st.P95), fmtSec(st.P99))
+		}
+		for series, chain := range b.LatencyTraces {
+			fmt.Fprintf(&s, "  worst %s exemplar resolved to %d trace event(s)\n", series, len(chain))
+		}
+	}
 	if len(b.Logs) > 0 {
 		fmt.Fprintf(&s, "\nrecent logs (%d):\n", len(b.Logs))
 		for _, rec := range b.Logs {

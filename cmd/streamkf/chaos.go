@@ -31,6 +31,7 @@ func cmdChaos(args []string) error {
 	bundleDir := fs.String("bundle-dir", "", "spool incident bundles captured during the run to this directory")
 	noDiag := fs.Bool("no-diag", false, "disarm the flight recorder (no bundles, no attribution)")
 	noHistory := fs.Bool("no-history", false, "disarm the telemetry history store (the unarmed control arm)")
+	noFreshness := fs.Bool("no-freshness", false, "disarm freshness stamping (the unstamped control arm)")
 	historyOut := fs.String("history-out", "", "write the run's full finest-tier telemetry-history dump to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +60,7 @@ func cmdChaos(args []string) error {
 		DisableHealth:    *noHealth,
 		DisableDiag:      *noDiag,
 		DisableHistory:   *noHistory,
+		DisableFreshness: *noFreshness,
 		BundleDir:        *bundleDir,
 	})
 	if err != nil {
@@ -89,6 +91,9 @@ func cmdChaos(args []string) error {
 	if !*noDiag {
 		fmt.Print(rep.BundleSummary())
 	}
+	if !*noFreshness {
+		fmt.Print(rep.FreshnessSummary())
+	}
 	if *historyOut != "" && rep.History != nil {
 		data, err := json.MarshalIndent(rep.History, "", "  ")
 		if err != nil {
@@ -109,6 +114,18 @@ func cmdChaos(args []string) error {
 	// evidence is itself an observability failure CI should catch.
 	if rep.UnbundledPages > 0 {
 		return fmt.Errorf("chaos: %d page(s) fired without a matching incident bundle", rep.UnbundledPages)
+	}
+	// The delay-fault verdict: a stamped run with an armed monitor must
+	// see every delay burst in the freshness SLO — degrade while held,
+	// clear after heal. A delay the latency surface cannot see is an
+	// observability failure even when precision recovers.
+	if !*noFreshness && !*noHealth && rep.DelayFaults > 0 {
+		if !rep.FreshnessDegraded {
+			return fmt.Errorf("chaos: %d delay fault(s) never degraded the freshness objective", rep.DelayFaults)
+		}
+		if !rep.FreshnessCleared {
+			return fmt.Errorf("chaos: freshness objective did not clear after the delay fault(s) healed")
+		}
 	}
 	return nil
 }

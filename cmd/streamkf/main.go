@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"kalmanstream/internal/buildinfo"
 	"kalmanstream/internal/harness"
 	"kalmanstream/internal/metrics"
 	"kalmanstream/internal/predictor"
@@ -52,6 +53,8 @@ func main() {
 		err = cmdGraph(os.Args[2:])
 	case "bundle":
 		err = cmdBundle(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.Version("streamkf"))
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -90,15 +93,18 @@ commands:
                                     bound, replica lock-step, composition)
                                     on this machine's floating point
   chaos [-ticks N] [-seed S] [-schedule SPEC] [-out FILE] [-bundle-dir DIR]
-        [-history-out FILE] [-no-history]
+        [-history-out FILE] [-no-history] [-no-freshness]
                                     drive a deterministic fault schedule
                                     (loss, delay, reorder, duplicate,
                                     partition) through the pipeline and
                                     verify bounded-staleness recovery;
                                     exits nonzero when precision is not
                                     restored within the window, an SLO
-                                    alert never clears, or a page fires
-                                    without a matching incident bundle
+                                    alert never clears, a page fires
+                                    without a matching incident bundle,
+                                    or a delay fault fails to produce
+                                    the freshness degrade-then-clear
+                                    envelope
   recovery -server BIN [-ticks N] [-streams N] [-wal-dir DIR] [-report FILE]
                                     crash-recovery smoke: spawn a kfserver
                                     with a write-ahead log, drive a workload
@@ -114,8 +120,9 @@ commands:
                                     /debug/health: per-SLO burn rates with
                                     window sparklines, per-stream send and
                                     suppress rates, stale flags, the recent
-                                    alert log, and the flight recorder's
-                                    top-offender tables
+                                    alert log, the freshness latency pane
+                                    (/debug/latency), and the flight
+                                    recorder's top-offender tables
   graph [-http H:P] [-series NAME | -contains LBL] [-tier K] [-n N] [-agg]
                                     render a kfserver's telemetry history
                                     (/debug/history) as ASCII sparklines:
@@ -129,6 +136,7 @@ commands:
                                     fetch one by ID and render the forensic
                                     report (alert, health snapshot, top-k
                                     offenders, logs, runtime profile delta)
+  version                           print the build's VCS revision
 trace kinds: random-walk, linear-drift, sine, ou, regime, network, gbm, waypoint2d
 replay methods: cache, dead-reckoning, ewma, kalman-rw, kalman-cv, kalman-bank, all
 `)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kalmanstream/internal/diag"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 )
@@ -31,6 +32,7 @@ func cmdTop(args []string) error {
 	topURL := fmt.Sprintf("http://%s/debug/top?n=8", *httpAddr)
 	histURL := fmt.Sprintf("http://%s/debug/history?dump=1&tier=0&n=30", *httpAddr)
 	varsURL := fmt.Sprintf("http://%s/debug/vars", *httpAddr)
+	latURL := fmt.Sprintf("http://%s/debug/latency", *httpAddr)
 	client := &http.Client{Timeout: *interval}
 
 	var prev *health.DebugPayload
@@ -56,10 +58,14 @@ func cmdTop(args []string) error {
 		// simply render without them.
 		hist := fetchHistory(client, histURL)
 		vars := fetchVars(client, varsURL)
+		lat := fetchLatency(client, latURL)
 		// Clear screen, home cursor: plain ANSI, no TUI dependency.
 		fmt.Print("\x1b[2J\x1b[H")
 		fmt.Print(renderTop(prev, cur, elapsed))
 		fmt.Print(renderTermCache(vars))
+		if lat != nil {
+			fmt.Print(renderLatency(lat))
+		}
 		if offenders != nil {
 			fmt.Print(renderOffenders(offenders))
 		}
@@ -124,6 +130,61 @@ func renderOffenders(top *diag.TopPayload) string {
 		b.WriteString("  (no events attributed yet)\n")
 	}
 	return b.String()
+}
+
+// fetchLatency polls the freshness snapshot at /debug/latency. Any
+// failure (older server, timeout) returns nil: the pane is optional.
+func fetchLatency(client *http.Client, url string) *freshness.Snapshot {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap freshness.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+// renderLatency formats the freshness pane: e2e and staleness quantiles
+// with their span counts, the worst resident exemplar (the one-hop
+// pivot into /debug/trace), and per-connection clock-skew estimates.
+// Nothing renders until a stamped source has shipped at least one span.
+func renderLatency(s *freshness.Snapshot) string {
+	if s.E2E.Count == 0 && s.Staleness.Count == 0 && len(s.Conns) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\nfreshness:\n")
+	if s.E2E.Count > 0 {
+		fmt.Fprintf(&b, "  e2e latency %8d spans  p50 %s  p95 %s  p99 %s\n",
+			s.E2E.Count, fmtSec(s.E2E.P50), fmtSec(s.E2E.P95), fmtSec(s.E2E.P99))
+	}
+	if s.Staleness.Count > 0 {
+		fmt.Fprintf(&b, "  staleness   %8d spans  p50 %s  p95 %s  p99 %s\n",
+			s.Staleness.Count, fmtSec(s.Staleness.P50), fmtSec(s.Staleness.P95), fmtSec(s.Staleness.P99))
+	}
+	if n := len(s.E2E.Exemplars); n > 0 {
+		ex := s.E2E.Exemplars[n-1]
+		fmt.Fprintf(&b, "  worst span  %s  stream %s  trace %016x\n", fmtSec(ex.Value), ex.Stream, ex.TraceID)
+	}
+	for _, c := range s.Conns {
+		fmt.Fprintf(&b, "  conn %-21s skew %+.3gs  rtt %.3gs  (%d pings)\n",
+			c.Remote, c.OffsetSeconds, c.RTTSeconds, c.Samples)
+	}
+	return b.String()
+}
+
+// fmtSec renders a seconds value at millisecond-friendly precision.
+func fmtSec(v float64) string {
+	if v < 1 {
+		return fmt.Sprintf("%.2fms", v*1e3)
+	}
+	return fmt.Sprintf("%.3fs", v)
 }
 
 // fetchHistory polls the telemetry-history dump (finest tier, last 30

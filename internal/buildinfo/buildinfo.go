@@ -1,0 +1,93 @@
+// Package buildinfo surfaces the binary's own identity: the VCS
+// revision the Go toolchain bakes into every build, and the process
+// start time / uptime series that let a scrape distinguish "metrics
+// reset" from "process restarted". Both command binaries report the
+// revision on -version; long-running servers also publish the series
+// on their registry for /metrics and /debug/vars.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"kalmanstream/internal/telemetry"
+)
+
+// Revision returns the VCS revision embedded by the Go toolchain,
+// truncated to 12 hex digits with a "+dirty" suffix when the checkout
+// had uncommitted changes, or "unknown" when the binary was built
+// outside version control (e.g. from a source tarball).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// Version renders the one-line -version output for a named binary:
+// name, VCS revision, and the Go toolchain that built it.
+func Version(name string) string {
+	return name + " " + Revision() + " (" + runtime.Version() + ")"
+}
+
+// UptimeInterval is how often Register refreshes the uptime gauge.
+const UptimeInterval = time.Second
+
+// Register publishes the process-identity series on reg (nil means
+// telemetry.Default): build_info{revision,go} pinned at 1 (the
+// Prometheus info-metric convention), process_start_time_seconds, and
+// a process_uptime_seconds gauge refreshed every UptimeInterval by a
+// background ticker. The returned stop function halts the ticker;
+// servers defer it alongside their other shutdown hooks.
+func Register(reg *telemetry.Registry) (stop func()) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	reg.Help("build_info", "build identity pinned at 1; revision and Go version ride the labels")
+	reg.Help("process_start_time_seconds", "unix time the process started")
+	reg.Help("process_uptime_seconds", "seconds since the process started")
+	reg.Gauge("build_info", "revision", Revision(), "go", runtime.Version()).Set(1)
+	start := time.Now()
+	reg.Gauge("process_start_time_seconds").Set(float64(start.UnixNano()) / 1e9)
+	up := reg.Gauge("process_uptime_seconds")
+	up.Set(0)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(UptimeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				up.Set(time.Since(start).Seconds())
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"kalmanstream/internal/telemetry"
+)
+
+func TestRevisionNonEmpty(t *testing.T) {
+	if Revision() == "" {
+		t.Fatal("Revision returned empty string, want a hash or \"unknown\"")
+	}
+}
+
+func TestVersionMentionsBinaryName(t *testing.T) {
+	v := Version("kfserver")
+	if !strings.HasPrefix(v, "kfserver ") {
+		t.Fatalf("Version = %q, want kfserver prefix", v)
+	}
+	if !strings.Contains(v, "go") {
+		t.Fatalf("Version = %q, want the Go toolchain version", v)
+	}
+}
+
+func TestRegisterPublishesIdentitySeries(t *testing.T) {
+	reg := telemetry.New()
+	stop := Register(reg)
+	defer stop()
+	stop() // idempotent
+
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, s := range snap {
+		switch s.Name {
+		case "build_info":
+			found[s.Name] = true
+			if s.Value != 1 {
+				t.Errorf("build_info = %v, want the info-metric constant 1", s.Value)
+			}
+		case "process_start_time_seconds":
+			found[s.Name] = true
+			if s.Value <= 0 {
+				t.Errorf("process_start_time_seconds = %v, want > 0", s.Value)
+			}
+		case "process_uptime_seconds":
+			found[s.Name] = true
+		}
+	}
+	for _, name := range []string{"build_info", "process_start_time_seconds", "process_uptime_seconds"} {
+		if !found[name] {
+			t.Errorf("series %s not registered", name)
+		}
+	}
+}

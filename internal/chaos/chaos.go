@@ -14,6 +14,7 @@ import (
 
 	"kalmanstream/internal/core"
 	"kalmanstream/internal/diag"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 	"kalmanstream/internal/stream"
@@ -252,6 +253,13 @@ type Config struct {
 	// this cadence (0 = never), bounding how much of the log a restart
 	// replays.
 	CheckpointEveryTicks int64
+	// DisableFreshness turns off end-to-end latency stamping — the
+	// unstamped control arm. Stamping is asserted to be a pure observer:
+	// a stamped loss-free run produces a byte-identical Summary to an
+	// unstamped control (the report deducts the stamp's fixed 8-byte
+	// wire overhead, so the classic artifact counts protocol payload in
+	// both arms).
+	DisableFreshness bool
 }
 
 func (c Config) withDefaults() Config {
@@ -352,6 +360,19 @@ type Report struct {
 	RestoredStreams           int64
 	ReplayedRecords           int64
 	PostRestartResyncRequests int64
+	// Freshness fields (FreshnessSummary; never rendered by Summary, so
+	// the stamped/unstamped control arms stay valid). FreshnessSpans
+	// counts recorded gate→apply spans; P50/P99 are the run-end
+	// quantiles. DelayFaults counts schedule entries that injected
+	// delay; when any exist the envelope verdict applies:
+	// FreshnessDegraded means the freshness SLO left OK during the run
+	// (the delay burst was observed), FreshnessCleared means it was OK
+	// again when the run ended (the degradation resolved).
+	FreshnessSpans             int64
+	FreshnessP50, FreshnessP99 float64
+	DelayFaults                int
+	FreshnessDegraded          bool
+	FreshnessCleared           bool
 }
 
 // Summary renders the report as the plain-text block the chaos smoke
@@ -414,6 +435,30 @@ func (r Report) BundleSummary() string {
 	return b.String()
 }
 
+// FreshnessSummary renders the time-bound view of the run: how many
+// latency spans were recorded, their quantiles, and — when the schedule
+// injected delay — the degradation-envelope verdict chaos-smoke gates
+// on. Kept separate from Summary so the stamped and unstamped arms of
+// the classic artifact stay byte-identical.
+func (r Report) FreshnessSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "freshness: %d spans, p50 %.4fs, p99 %.4fs\n",
+		r.FreshnessSpans, r.FreshnessP50, r.FreshnessP99)
+	verdict := "N/A (no delay faults)"
+	if r.DelayFaults > 0 {
+		switch {
+		case r.FreshnessDegraded && r.FreshnessCleared:
+			verdict = "DEGRADED+CLEARED"
+		case !r.FreshnessDegraded:
+			verdict = "NOT DEGRADED"
+		default:
+			verdict = "NOT CLEARED"
+		}
+	}
+	fmt.Fprintf(&b, "freshness envelope: %s (delay faults %d)\n", verdict, r.DelayFaults)
+	return b.String()
+}
+
 // RecoverySummary renders the durability view of the run: what each
 // server restart restored and replayed, and whether recovery stayed
 // storm-free. Kept separate from Summary so a restart run's classic
@@ -429,6 +474,14 @@ func (r Report) RecoverySummary() string {
 
 // StreamID is the stream a chaos run attaches.
 const StreamID = "chaos-1"
+
+// FreshnessP99Bound is the chaos runs' gate→apply latency objective:
+// 2.5ms of virtual time. The simulation delivers un-delayed corrections
+// within their tick (span ≈ 0), while a delay fault of d ≥ 5 ticks
+// records ~d × core.FreshnessTickPeriod = d ms spans — decisively past
+// the bound, so the burst degrades the SLO, and decisively cleared once
+// the fault lifts. Must sit on a telemetry.LatencyBuckets bound.
+const FreshnessP99Bound = 2.5e-3
 
 // streamIDs names the n attached streams: "chaos-1" .. "chaos-N".
 func streamIDs(n int) []string {
@@ -524,9 +577,17 @@ func Run(cfg Config) (Report, error) {
 		TelemetryHistory:     hist,
 		WALDir:               cfg.WALDir,
 		CheckpointEveryTicks: cfg.CheckpointEveryTicks,
+		Freshness:            !cfg.DisableFreshness,
 	})
 	if err != nil {
 		return Report{}, err
+	}
+	if rec != nil {
+		if f := sys.Freshness(); f != nil {
+			// Bundles captured mid-burst then carry the latency table and
+			// the worst exemplar's resolved trace chain.
+			rec.AttachFreshness(func() freshness.Snapshot { return f.SnapshotNow(nil) })
+		}
 	}
 	ids := streamIDs(cfg.Streams)
 	handles := make([]*core.StreamHandle, len(ids))
@@ -582,6 +643,18 @@ func Run(cfg Config) (Report, error) {
 			mon.GaugeSLO("staleness", "streams_stale", 0, health.Thresholds{}),
 			mon.RatioSLO("delta-burn", "audit_delta_violations", "audit_ticks",
 				cfg.DeltaBudget, health.Thresholds{}),
+		}
+		if f := sys.Freshness(); f != nil {
+			// The freshness objective: p99 gate→apply latency under the
+			// bound. A healthy sim delivers within the tick (span ~0); a
+			// delay burst pushes every span to its delay in virtual
+			// milliseconds, burning the 1% budget at ~100× — the
+			// degradation envelope the delay verdict asserts.
+			wiring = append(wiring,
+				mon.TrackHistogram(freshness.SeriesE2ELatency, f.E2E()),
+				mon.LatencySLO("freshness-p99", freshness.SeriesE2ELatency, 0.99,
+					FreshnessP99Bound, health.Thresholds{}),
+			)
 		}
 		if det != nil {
 			// Before the monitor's first window closes — late tracks are
@@ -679,6 +752,7 @@ run:
 		rep.Ticks++
 	}
 
+	stamped := sys.Freshness() != nil
 	for _, h := range handles {
 		st := h.Stats()
 		rep.Messages += st.Sent
@@ -686,8 +760,18 @@ run:
 		rep.Resyncs += st.Resyncs
 		rep.ResyncRequests += st.ResyncRequests
 		rep.ForcedResyncs += st.ForcedResyncs
-		rep.Bytes += h.LinkStats().Bytes
-		rep.Dropped += h.LinkStats().Dropped
+		ls := h.LinkStats()
+		bytes := ls.Bytes
+		if stamped {
+			// Every uplink transmission (duplicates included) carried the
+			// fixed 8-byte origin stamp. The summary counts protocol
+			// payload, so the observability overhead is deducted — which
+			// is what keeps a stamped run's classic artifact byte-identical
+			// to the unstamped control's.
+			bytes -= 8 * ls.Messages
+		}
+		rep.Bytes += bytes
+		rep.Dropped += ls.Dropped
 		rep.FeedbackDropped += h.FeedbackStats().Dropped
 	}
 	if len(ids) == 1 {
@@ -729,6 +813,28 @@ run:
 		}
 		rep.Bundles = rec.Bundles()
 		rep.UnbundledPages = unbundledPages(rep.Alerts, rep.Bundles, rec.DedupeWindow())
+	}
+	if f := sys.Freshness(); f != nil {
+		snap := f.SnapshotNow(nil)
+		rep.FreshnessSpans = snap.E2E.Count
+		rep.FreshnessP50 = snap.E2E.P50
+		rep.FreshnessP99 = snap.E2E.P99
+		for _, fault := range cfg.Schedule {
+			if fault.DelayTicks > 0 && !fault.Restart {
+				rep.DelayFaults++
+			}
+		}
+		for _, t := range rep.Alerts {
+			if t.SLO == "freshness-p99" && t.To != health.SevOK {
+				rep.FreshnessDegraded = true
+			}
+		}
+		rep.FreshnessCleared = true
+		for _, name := range rep.NeverCleared {
+			if name == "freshness-p99" {
+				rep.FreshnessCleared = false
+			}
+		}
 	}
 	if hist != nil {
 		d := hist.Dump(0, -1)

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"kalmanstream/internal/health"
+)
+
+// TestDelayBurstFiresFreshnessEnvelope drives a sustained uplink delay
+// through the armed harness: every correction inside the burst arrives
+// ~DelayTicks×1ms late, far past the 2.5ms freshness bound, so the
+// freshness-p99 objective must degrade during the burst and resolve
+// within the monitor's hysteresis horizon after the link heals. This is
+// the delay-fault verdict: WARN (or worse) then clear.
+func TestDelayBurstFiresFreshnessEnvelope(t *testing.T) {
+	rep, err := Run(Config{
+		Ticks: 3000,
+		Schedule: Schedule{
+			{Name: "delay-burst", From: 1000, Until: 1600, DelayTicks: 8},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DelayFaults != 1 {
+		t.Fatalf("DelayFaults = %d, want 1", rep.DelayFaults)
+	}
+	if rep.FreshnessSpans == 0 {
+		t.Fatal("no freshness spans recorded on a stamped run")
+	}
+	fresh := alertsFor(rep, "freshness-p99")
+	if len(fresh) < 2 {
+		t.Fatalf("freshness-p99 transitions = %+v, want raise + resolve", fresh)
+	}
+	raise := fresh[0]
+	if raise.To < health.SevWarn {
+		t.Errorf("freshness-p99 raised to %s, want >= warn", raise.To)
+	}
+	// Detection needs a full fast span of delayed spans, so allow one
+	// span of slack past the burst start; it must fire before heal.
+	if raise.Tick < 1000 || raise.Tick >= 1600 {
+		t.Errorf("freshness-p99 raised at tick %d, want inside the burst [1000,1600)", raise.Tick)
+	}
+	resolve := fresh[len(fresh)-1]
+	if resolve.To != health.SevOK {
+		t.Errorf("freshness-p99 ended at %s, want resolved to ok", resolve.To)
+	}
+	// Heal at 1600; clear horizon is fast span (2 windows) + ResolveAfter
+	// (2 evals) = 4 windows of 25 ticks, plus one window of slack.
+	if deadline := int64(1600 + 5*25); resolve.Tick > deadline {
+		t.Errorf("freshness-p99 cleared at tick %d, want <= %d", resolve.Tick, deadline)
+	}
+	if !rep.FreshnessDegraded || !rep.FreshnessCleared {
+		t.Errorf("envelope verdict degraded=%v cleared=%v, want both true",
+			rep.FreshnessDegraded, rep.FreshnessCleared)
+	}
+	if len(rep.NeverCleared) != 0 {
+		t.Errorf("objectives never cleared: %v", rep.NeverCleared)
+	}
+	if got := rep.FreshnessSummary(); !strings.Contains(got, "DEGRADED+CLEARED") {
+		t.Errorf("freshness summary = %q, want DEGRADED+CLEARED verdict", got)
+	}
+	// The delayed spans must actually dominate the tail: p99 at or past
+	// the hold time, not the ~0 of an undisturbed tick-clock span.
+	if rep.FreshnessP99 < 0.004 {
+		t.Errorf("freshness p99 = %.6fs, want >= 4ms under an 8-tick delay", rep.FreshnessP99)
+	}
+}
+
+// TestStampedRunByteIdenticalToUnstamped is the in-band overhead gate:
+// arming freshness stamps every uplink message, but a loss-free stamped
+// run's classic summary — bytes included — must match an unstamped
+// control byte for byte. Stamps ride the existing frames and the report
+// deducts exactly the 8-byte stamp per transmitted message, so any
+// drift here means the stamp changed the protocol, not just the frames.
+func TestStampedRunByteIdenticalToUnstamped(t *testing.T) {
+	cfg := Config{Ticks: 3000}
+	stamped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableFreshness = true
+	control, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped.FreshnessSpans == 0 {
+		t.Error("stamped run recorded no freshness spans")
+	}
+	if control.FreshnessSpans != 0 {
+		t.Errorf("unstamped control recorded %d freshness spans", control.FreshnessSpans)
+	}
+	if s, c := stamped.Summary(), control.Summary(); s != c {
+		t.Errorf("stamped summary diverged from unstamped control:\nstamped:\n%s\ncontrol:\n%s", s, c)
+	}
+	if len(stamped.Alerts) != 0 {
+		t.Errorf("loss-free stamped run fired alerts: %+v", stamped.Alerts)
+	}
+	if got := control.FreshnessSummary(); !strings.Contains(got, "0 spans") {
+		t.Errorf("control freshness summary = %q, want zero spans", got)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream/internal/telemetry"
+	"kalmanstream/internal/trace"
+)
+
+// TestFreshnessSpansMeasureLinkDelay drives a stamped system over a
+// delayed uplink: with the tick clock at 1ms per tick, a 5-tick link
+// delay must land every gate→apply span in the (2.5ms, 5ms] bucket —
+// the virtual clock makes the envelope exact, not statistical.
+func TestFreshnessSpansMeasureLinkDelay(t *testing.T) {
+	reg := telemetry.New()
+	sys, err := NewSystem(SystemConfig{Freshness: true, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{
+		ID: "f", Predictor: KalmanRandomWalk(1e-4, 1e-3), Delta: 0.05,
+		LinkDelayTicks: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{math.Sin(float64(i) / 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sys.Freshness().SnapshotNow(nil)
+	if snap.E2E.Count == 0 {
+		t.Fatal("no e2e spans recorded on a stamped run")
+	}
+	// 5 ticks × 1ms = 5ms exactly; quantile interpolation over the fixed
+	// buckets places every quantile inside (2.5ms, 5ms].
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{{"p50", snap.E2E.P50}, {"p99", snap.E2E.P99}} {
+		if q.v <= 2.5e-3 || q.v > 5e-3 {
+			t.Errorf("e2e %s = %.6fs, want in (2.5ms, 5ms] under a 5-tick delay", q.name, q.v)
+		}
+	}
+}
+
+// TestFreshnessExemplarsResolveInTraceJournal is the exemplar-fidelity
+// gate: every exemplar the latency snapshot exposes must carry a trace
+// ID that resolves to a live trace-journal chain for the right stream —
+// the one-hop pivot from a histogram spike to its offending correction.
+func TestFreshnessExemplarsResolveInTraceJournal(t *testing.T) {
+	j := trace.NewJournal(4, 8192)
+	j.SetEnabled(true)
+	reg := telemetry.New()
+	sys, err := NewSystem(SystemConfig{Freshness: true, Telemetry: reg, Trace: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Attach(StreamConfig{
+		ID: "f", Predictor: KalmanRandomWalk(1e-4, 1e-3), Delta: 0.05,
+		LinkDelayTicks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := sys.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Observe([]float64{math.Sin(float64(i) / 20)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			if _, err := sys.Value("f"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := sys.Freshness().SnapshotNow(nil)
+	if len(snap.E2E.Exemplars) == 0 {
+		t.Fatal("latency snapshot exposed no exemplars")
+	}
+	for _, ex := range snap.E2E.Exemplars {
+		if ex.Stream != "f" {
+			t.Errorf("exemplar stream = %q, want %q", ex.Stream, "f")
+		}
+		if ex.TraceID == 0 {
+			t.Errorf("exemplar in bucket %g carries no trace ID", ex.Bound)
+			continue
+		}
+		chain := j.TraceEvents(ex.TraceID)
+		if len(chain) == 0 {
+			t.Errorf("exemplar trace %d resolves to no journal events", ex.TraceID)
+			continue
+		}
+		var sawApply bool
+		for _, e := range chain {
+			if e.Stage == trace.StageApply {
+				sawApply = true
+			}
+		}
+		if !sawApply {
+			t.Errorf("exemplar trace %d has no apply event: %+v", ex.TraceID, chain)
+		}
+	}
+}

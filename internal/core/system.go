@@ -9,8 +9,10 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"kalmanstream/internal/diag"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 	"kalmanstream/internal/netsim"
@@ -247,6 +249,15 @@ type SystemConfig struct {
 	// prunes the covered log prefix) every N ticks during Advance
 	// (0 = never; CheckpointWAL can still be called explicitly).
 	CheckpointEveryTicks int64
+	// Freshness arms end-to-end latency spans inside the simulation:
+	// every shipped message is stamped at the gate with a deterministic
+	// virtual clock (tick × FreshnessTickPeriod) and the span closes at
+	// replica apply, landing in wire_e2e_latency_seconds on the Telemetry
+	// registry with the correction's trace and stream identity as bucket
+	// exemplars. A chaos link delay of d ticks therefore produces an
+	// exact, reproducible latency envelope of about d ms. No clock skew
+	// exists in-process, so no skew correction applies.
+	Freshness bool
 	// CoalesceUplink routes every uplink delivery through the batched
 	// message codec: a stream's matured messages encode into a pending
 	// per-stream batch instead of applying one at a time, and the system
@@ -258,6 +269,13 @@ type SystemConfig struct {
 	// summaries (see chaos.Config.Coalesce).
 	CoalesceUplink bool
 }
+
+// FreshnessTickPeriod is the virtual duration of one system tick under
+// SystemConfig.Freshness: 1ms, so a link delay of d ticks reads as a
+// latency on the order of d milliseconds — squarely inside
+// telemetry.LatencyBuckets and well past DefaultFreshnessP99Bound for
+// the delay magnitudes chaos injects.
+const FreshnessTickPeriod = time.Millisecond
 
 // System is a stream resource manager: the server-side replica cache plus
 // the attached sources, driven by a shared tick clock. The driving
@@ -291,6 +309,12 @@ type System struct {
 	linkDirty  bool
 
 	coalesce bool
+
+	// Freshness wiring (nil when SystemConfig.Freshness was unset):
+	// stamp is the shared virtual clock sources stamp with, fresh the
+	// recorder closing spans at apply.
+	fresh *freshness.Recorder
+	stamp freshness.Clock
 
 	// Durability wiring (nil/zero when SystemConfig.WALDir was unset).
 	walLog       *wal.Log
@@ -328,6 +352,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	if cfg.Audit {
 		s.auditor = trace.NewAuditor(cfg.Telemetry, tr)
+	}
+	if cfg.Freshness {
+		s.fresh = freshness.NewRecorder(cfg.Telemetry)
+		s.stamp = freshness.TickClock(&s.tick, FreshnessTickPeriod)
 	}
 	if cfg.Diag != nil {
 		s.diag = cfg.Diag
@@ -405,6 +433,12 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		if err := s.srv.Apply(m); err != nil {
 			panic(fmt.Sprintf("core: replica apply failed: %v", err))
 		}
+		if s.fresh != nil && m.Stamp != 0 && m.Kind != netsim.KindHeartbeat {
+			// Close the gate→apply span on the same virtual clock the
+			// stamp was read from: a delayed link shows up as exactly its
+			// delay, deterministically.
+			s.fresh.RecordE2E(freshness.E2ESeconds(m.Stamp, s.stamp(), 0), m.Trace, m.StreamID)
+		}
 		if s.diag != nil && m.Kind == netsim.KindCorrection {
 			s.diag.ObserveCorrection(m.StreamID, m.EncodedSize())
 		}
@@ -440,6 +474,7 @@ func (s *System) Attach(cfg StreamConfig) (*StreamHandle, error) {
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		ResyncEvery:    cfg.ResyncEvery,
 		Trace:          s.tr,
+		Stamp:          s.stamp,
 	}, link.Send)
 	if err != nil {
 		_ = s.srv.Unregister(cfg.ID)
@@ -807,6 +842,10 @@ func (s *System) Auditor() *trace.Auditor { return s.auditor }
 // Diag returns the flight recorder, or nil when SystemConfig.Diag was
 // not set.
 func (s *System) Diag() *diag.Recorder { return s.diag }
+
+// Freshness returns the latency recorder, or nil when
+// SystemConfig.Freshness was not set.
+func (s *System) Freshness() *freshness.Recorder { return s.fresh }
 
 // TraceJournal returns the journal every layer of this system records
 // lifecycle events on (trace.Default unless SystemConfig.Trace was set).

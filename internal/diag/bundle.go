@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 	"kalmanstream/internal/trace"
@@ -45,6 +46,15 @@ type Bundle struct {
 	// series — the alert's SLO series plus the top offender streams'
 	// labeled series — when a history store is attached.
 	History *history.Excerpt `json:"history,omitempty"`
+	// Latency is the freshness snapshot at capture time: e2e and
+	// staleness quantiles with their resident exemplars, plus the
+	// per-connection clock-skew table (when a recorder is attached).
+	Latency *freshness.Snapshot `json:"latency,omitempty"`
+	// LatencyTraces holds the resolved trace-journal chain of each
+	// latency histogram's worst resident exemplar, keyed by series
+	// ("e2e_latency", "query_staleness") — the slowest correction the
+	// responder would chase first, pre-chased.
+	LatencyTraces map[string][]trace.Event `json:"latency_traces,omitempty"`
 	// TraceTail is the most recent slice of the trace journal.
 	TraceTail []trace.Event `json:"trace_tail,omitempty"`
 	// Logs is the recent log ring, oldest first.
@@ -92,6 +102,13 @@ func (r *Recorder) capture(reason string, alert *health.Transition) Bundle {
 	if r.history != nil {
 		ex := r.history.ExcerptFor(r.implicatedSeries(b.Alert, b.Health), r.offenderStreams(), r.opts.HistoryTail)
 		b.History = &ex
+	}
+	if r.freshFn != nil {
+		snap := r.freshFn()
+		b.Latency = &snap
+		if j := r.opts.Journal; j != nil {
+			b.LatencyTraces = worstExemplarTraces(j, &snap)
+		}
 	}
 	if j := r.opts.Journal; j != nil {
 		tail := j.Snapshot()
@@ -161,6 +178,31 @@ func (r *Recorder) offenderStreams() []string {
 		}
 	}
 	return ids
+}
+
+// worstExemplarTraces resolves the highest-bucket resolvable exemplar
+// of each latency histogram against the trace journal. Exemplar rows
+// are bucket-ordered, so scanning from the end finds the slowest
+// retained observation whose trace is still resident.
+func worstExemplarTraces(j *trace.Journal, s *freshness.Snapshot) map[string][]trace.Event {
+	out := make(map[string][]trace.Event, 2)
+	add := func(key string, rows []freshness.ExemplarRow) {
+		for i := len(rows) - 1; i >= 0; i-- {
+			if rows[i].TraceID == 0 {
+				continue
+			}
+			if chain := j.TraceEvents(rows[i].TraceID); len(chain) > 0 {
+				out[key] = chain
+				return
+			}
+		}
+	}
+	add("e2e_latency", s.E2E.Exemplars)
+	add("query_staleness", s.Staleness.Exemplars)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // clampBurn maps +Inf (and anything past it) to the finite 1e9

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 	"kalmanstream/internal/telemetry"
@@ -89,6 +90,7 @@ type Recorder struct {
 
 	healthFn func() health.Snapshot
 	history  *history.Store
+	freshFn  func() freshness.Snapshot
 
 	mu          sync.Mutex
 	lastCapture int64 // monitor tick of the last page capture, -1 = never
@@ -146,6 +148,16 @@ func NewRecorder(opts Options) *Recorder {
 // may call back into Snapshot safely.
 func (r *Recorder) AttachHealth(m *health.Monitor) {
 	r.healthFn = m.Snapshot
+}
+
+// AttachFreshness points bundle capture at a freshness snapshot source
+// (a wire server's or core system's latency recorder): every bundle
+// then embeds the latency table — e2e and staleness quantiles plus
+// resident exemplars — and, when a journal is attached, the full trace
+// chain of the worst exemplar, so a latency page arrives with its
+// slowest correction already resolved.
+func (r *Recorder) AttachFreshness(fn func() freshness.Snapshot) {
+	r.freshFn = fn
 }
 
 // AttachHistory points bundle capture at a telemetry history store:

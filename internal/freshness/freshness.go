@@ -1,0 +1,202 @@
+// Package freshness measures the time dimension of the bounded-staleness
+// bargain: per-correction end-to-end latency spans carried in-band on the
+// wire, clock-skew-corrected on arrival, and recorded into
+// exemplar-bearing histograms.
+//
+// The δ auditor (internal/trace) proves the *value* bound; this package
+// proves the *time* bound is observable. A source stamps each shipped
+// correction with its own clock reading (netsim.Message.Stamp, a flag-bit
+// field that costs zero wire bytes when unset), the server subtracts the
+// per-connection clock-skew estimate, and the resulting gate→apply span
+// lands in wire_e2e_latency_seconds with the correction's trace ID and
+// stream ID retained as the bucket's exemplar — so a p99 spike on a
+// scrape resolves in one hop to a trace-journal entry and a top-k
+// offender row.
+//
+// Skew estimation is NTP-style: the client sends a ping carrying its send
+// time and its last measured round trip; the server's offset sample is
+// receive − send − rtt/2, EWMA-smoothed per connection and exported as
+// wire_clock_skew_seconds. Inside the single-process simulation no skew
+// exists and the stamp rides a deterministic virtual clock instead, so
+// chaos delay faults produce exact, reproducible latency envelopes.
+package freshness
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"kalmanstream/internal/telemetry"
+)
+
+// Series names this package records. They are shared by the health SLO,
+// the history tiers, incident bundles, and the /debug/latency surface.
+const (
+	// SeriesE2ELatency is the gate→apply latency histogram (seconds).
+	SeriesE2ELatency = "wire_e2e_latency_seconds"
+	// SeriesQueryStaleness is the age of the prediction basis at query
+	// time (seconds) for streams whose gate is currently suppressing.
+	SeriesQueryStaleness = "query_staleness_seconds"
+	// SeriesClockSkew is the smoothed per-connection clock offset
+	// (seconds, most recently updated connection wins the gauge).
+	SeriesClockSkew = "wire_clock_skew_seconds"
+)
+
+// Clock produces timestamps in nanoseconds. The two implementations are
+// WallClock (monotonic-anchored wall time, for real TCP deployments) and
+// a tick-derived virtual clock (core.System, where simulated time is the
+// only meaningful axis).
+type Clock func() int64
+
+// WallClock returns a monotonic-anchored wall clock: the Unix-nanosecond
+// epoch is read once and every subsequent reading advances it by the
+// monotonic delta, so NTP step adjustments mid-run cannot make spans go
+// backwards or jump.
+func WallClock() Clock {
+	base := time.Now()
+	baseNs := base.UnixNano()
+	return func() int64 {
+		return baseNs + int64(time.Since(base))
+	}
+}
+
+// TickClock returns a virtual clock deriving nanoseconds from a tick
+// counter: tick × period. It is the simulation's stamp source — chaos
+// link delays are measured in ticks, so a delay of d ticks produces an
+// exact latency of d × period.
+func TickClock(tick *atomic.Int64, period time.Duration) Clock {
+	p := int64(period)
+	return func() int64 {
+		return (tick.Load() + 1) * p // +1 keeps the first tick's stamp nonzero (0 encodes "unstamped")
+	}
+}
+
+// DefaultSkewAlpha is the EWMA smoothing factor for skew samples —
+// NTP's traditional 1/8, favoring stability over reaction speed.
+const DefaultSkewAlpha = 0.125
+
+// SkewEstimator maintains an EWMA clock-offset estimate for one
+// connection from NTP-style ping samples. Observe is called by the
+// connection's reader goroutine; Offset may be read concurrently.
+type SkewEstimator struct {
+	alpha   float64
+	bits    atomic.Uint64 // float64 offset, nanoseconds
+	rttBits atomic.Uint64 // float64 last rtt, nanoseconds
+	n       atomic.Int64
+}
+
+// NewSkewEstimator returns an estimator with the given smoothing factor
+// (values outside (0,1] take DefaultSkewAlpha).
+func NewSkewEstimator(alpha float64) *SkewEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultSkewAlpha
+	}
+	return &SkewEstimator{alpha: alpha}
+}
+
+// Observe folds one ping into the estimate: the client read sendNs from
+// its clock just before transmitting, the server read recvNs on arrival,
+// and rttNs is the client's previous measured round trip (0 on the first
+// ping, when no RTT is known yet — the sample is still useful, just
+// uncorrected for transit). The offset sample is recv − send − rtt/2;
+// the first sample initializes the EWMA, later ones fold in at alpha.
+// Returns the smoothed offset in nanoseconds.
+func (e *SkewEstimator) Observe(recvNs, sendNs, rttNs int64) float64 {
+	sample := float64(recvNs-sendNs) - float64(rttNs)/2
+	e.rttBits.Store(math.Float64bits(float64(rttNs)))
+	prev := math.Float64frombits(e.bits.Load())
+	var next float64
+	if e.n.Add(1) == 1 {
+		next = sample
+	} else {
+		next = prev + e.alpha*(sample-prev)
+	}
+	e.bits.Store(math.Float64bits(next))
+	return next
+}
+
+// OffsetNanos returns the smoothed clock offset in nanoseconds (0 before
+// any sample).
+func (e *SkewEstimator) OffsetNanos() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// RTTNanos returns the most recently reported round trip in nanoseconds.
+func (e *SkewEstimator) RTTNanos() float64 {
+	return math.Float64frombits(e.rttBits.Load())
+}
+
+// Samples returns the number of pings folded in.
+func (e *SkewEstimator) Samples() int64 { return e.n.Load() }
+
+// E2ESeconds converts an origin stamp and a local arrival reading into a
+// skew-corrected latency in seconds. Offset overcorrection (or genuine
+// clock weirdness) can drive the raw span negative; spans are clamped at
+// zero so the histogram never sees time running backwards.
+func E2ESeconds(stampNs, nowNs int64, offsetNs float64) float64 {
+	sec := (float64(nowNs-stampNs) - offsetNs) / 1e9
+	if sec < 0 {
+		return 0
+	}
+	return sec
+}
+
+// Recorder owns the freshness series on one registry: the two
+// exemplar-bearing histograms and the skew gauge.
+type Recorder struct {
+	e2e       *telemetry.Histogram
+	staleness *telemetry.Histogram
+	skew      *telemetry.Gauge
+}
+
+// NewRecorder resolves (creating as needed) the freshness series on reg
+// (nil means telemetry.Default) and enables exemplars on both
+// histograms.
+func NewRecorder(reg *telemetry.Registry) *Recorder {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	reg.Help(SeriesE2ELatency, "gate-to-apply latency of stamped corrections, clock-skew corrected")
+	reg.Help(SeriesQueryStaleness, "age of the prediction basis when a query was answered from a suppressed stream")
+	reg.Help(SeriesClockSkew, "smoothed NTP-style clock offset of the most recently pinged connection")
+	r := &Recorder{
+		e2e:       reg.Histogram(SeriesE2ELatency, telemetry.LatencyBuckets),
+		staleness: reg.Histogram(SeriesQueryStaleness, telemetry.LatencyBuckets),
+		skew:      reg.Gauge(SeriesClockSkew),
+	}
+	r.e2e.EnableExemplars()
+	r.staleness.EnableExemplars()
+	return r
+}
+
+// RecordE2E records one gate→apply span with its exemplar identity.
+func (r *Recorder) RecordE2E(sec float64, traceID uint64, streamID string) {
+	if r == nil {
+		return
+	}
+	r.e2e.ObserveExemplar(sec, traceID, streamID)
+}
+
+// RecordStaleness records one staleness-at-query span. The trace ID is
+// the last applied correction's — the state the stale answer was served
+// from.
+func (r *Recorder) RecordStaleness(sec float64, traceID uint64, streamID string) {
+	if r == nil {
+		return
+	}
+	r.staleness.ObserveExemplar(sec, traceID, streamID)
+}
+
+// SetSkew publishes a smoothed offset (seconds) to the skew gauge.
+func (r *Recorder) SetSkew(sec float64) {
+	if r == nil {
+		return
+	}
+	r.skew.Set(sec)
+}
+
+// E2E exposes the latency histogram (the health monitor tracks it).
+func (r *Recorder) E2E() *telemetry.Histogram { return r.e2e }
+
+// Staleness exposes the staleness histogram.
+func (r *Recorder) Staleness() *telemetry.Histogram { return r.staleness }

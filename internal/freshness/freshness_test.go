@@ -1,0 +1,113 @@
+package freshness
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kalmanstream/internal/telemetry"
+)
+
+func TestWallClockMonotone(t *testing.T) {
+	clk := WallClock()
+	now := time.Now().UnixNano()
+	a := clk()
+	if d := a - now; d < 0 || d > int64(time.Second) {
+		t.Fatalf("wall clock %d nowhere near time.Now %d", a, now)
+	}
+	for i := 0; i < 1000; i++ {
+		b := clk()
+		if b < a {
+			t.Fatalf("wall clock went backwards: %d -> %d", a, b)
+		}
+		a = b
+	}
+}
+
+func TestTickClock(t *testing.T) {
+	var tick atomic.Int64
+	clk := TickClock(&tick, time.Millisecond)
+	if got := clk(); got != int64(time.Millisecond) {
+		t.Fatalf("tick 0 stamp = %d, want %d (stamps must be nonzero)", got, int64(time.Millisecond))
+	}
+	tick.Store(41)
+	if got := clk(); got != 42*int64(time.Millisecond) {
+		t.Fatalf("tick 41 stamp = %d, want %d", got, 42*int64(time.Millisecond))
+	}
+}
+
+func TestSkewEstimatorEWMA(t *testing.T) {
+	e := NewSkewEstimator(0.5)
+	// First sample initializes: recv−send−rtt/2 = 1000−0−100 = 900.
+	if got := e.Observe(1000, 0, 200); got != 900 {
+		t.Fatalf("first sample offset = %v, want 900", got)
+	}
+	// Second sample 500 folds at alpha 0.5: 900 + 0.5·(500−900) = 700.
+	if got := e.Observe(1500, 1000, 0); got != 700 {
+		t.Fatalf("second sample offset = %v, want 700", got)
+	}
+	if e.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", e.Samples())
+	}
+	if e.OffsetNanos() != 700 {
+		t.Fatalf("OffsetNanos = %v, want 700", e.OffsetNanos())
+	}
+}
+
+func TestE2ESecondsClampsNegative(t *testing.T) {
+	if got := E2ESeconds(2_000_000_000, 1_000_000_000, 0); got != 0 {
+		t.Fatalf("negative span not clamped: %v", got)
+	}
+	if got := E2ESeconds(0, 1_500_000_000, 5e8); got != 1.0 {
+		t.Fatalf("skew-corrected span = %v, want 1.0", got)
+	}
+}
+
+func TestRecorderExemplars(t *testing.T) {
+	reg := telemetry.New()
+	r := NewRecorder(reg)
+	r.RecordE2E(0.003, 77, "s-1")
+	r.RecordStaleness(0.2, 78, "s-2")
+	r.SetSkew(0.001)
+
+	snap := r.SnapshotNow(nil)
+	if snap.E2E.Count != 1 || snap.Staleness.Count != 1 {
+		t.Fatalf("counts: %+v", snap)
+	}
+	if len(snap.E2E.Exemplars) != 1 || snap.E2E.Exemplars[0].TraceID != 77 || snap.E2E.Exemplars[0].Stream != "s-1" {
+		t.Fatalf("e2e exemplars: %+v", snap.E2E.Exemplars)
+	}
+	if len(snap.Staleness.Exemplars) != 1 || snap.Staleness.Exemplars[0].TraceID != 78 {
+		t.Fatalf("staleness exemplars: %+v", snap.Staleness.Exemplars)
+	}
+	if math.Abs(snap.E2E.Exemplars[0].Value-0.003) > 1e-12 {
+		t.Fatalf("exemplar value: %v", snap.E2E.Exemplars[0].Value)
+	}
+}
+
+func TestLatencyHandler(t *testing.T) {
+	reg := telemetry.New()
+	r := NewRecorder(reg)
+	r.RecordE2E(0.01, 5, "h-1")
+	conns := func() []ConnSkew {
+		return []ConnSkew{{Remote: "1.2.3.4:9", OffsetSeconds: 0.002, RTTSeconds: 0.0004, Samples: 3}}
+	}
+	rr := httptest.NewRecorder()
+	Handler(r, conns).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/latency", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if snap.E2E.Count != 1 || len(snap.Conns) != 1 || snap.Conns[0].Remote != "1.2.3.4:9" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap.SkewSeconds != 0.002 {
+		t.Fatalf("skew: %v", snap.SkewSeconds)
+	}
+}

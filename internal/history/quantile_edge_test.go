@@ -1,0 +1,151 @@
+package history
+
+import (
+	"math"
+	"testing"
+
+	"kalmanstream/internal/telemetry"
+)
+
+// TestHistoryQuantileEmptyWindow pins the no-traffic case: a window in
+// which a known histogram saw nothing must report zero count and zero
+// quantiles — not NaN, not a stale carry-over from the busy window
+// before it.
+func TestHistoryQuantileEmptyWindow(t *testing.T) {
+	reg := telemetry.New()
+	st := mustStore(t, Config{Registry: reg, Tiers: []Tier{{Every: 1, Len: 8}}})
+	st.Tick() // baseline scrape before the histogram exists
+	h := reg.Histogram("lat_seconds", []float64{0.1, 0.2})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	st.Tick() // window 1: two observations
+	st.Tick() // window 2: silence
+	q := st.Query(Q{Name: "lat_seconds", Tier: 0})
+	if len(q) != 1 || len(q[0].Points) != 2 {
+		t.Fatalf("got %+v, want 1 series × 2 windows", q)
+	}
+	busy, idle := q[0].Points[0], q[0].Points[1]
+	if busy.Count != 2 {
+		t.Errorf("busy window count = %v, want 2", busy.Count)
+	}
+	if idle.Count != 0 {
+		t.Errorf("idle window count = %v, want 0", idle.Count)
+	}
+	if idle.P50 != 0 || idle.P99 != 0 {
+		t.Errorf("idle window quantiles = (%v, %v), want (0, 0)", idle.P50, idle.P99)
+	}
+}
+
+// TestHistoryQuantileSingleBucketWindow puts a window's whole mass in
+// one finite bucket and checks the interpolation stays inside it.
+func TestHistoryQuantileSingleBucketWindow(t *testing.T) {
+	reg := telemetry.New()
+	st := mustStore(t, Config{Registry: reg, Tiers: []Tier{{Every: 1, Len: 8}}})
+	st.Tick()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 0.2})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.05)
+	}
+	st.Tick()
+	q := st.Query(Q{Name: "lat_seconds", Tier: 0})
+	if len(q) != 1 || len(q[0].Points) != 1 {
+		t.Fatalf("got %+v, want 1 series × 1 window", q)
+	}
+	p := q[0].Points[0]
+	if want := 0.05; math.Abs(p.P50-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v (halfway through (0,0.1])", p.P50, want)
+	}
+	if p.P99 <= 0.05 || p.P99 > 0.1 {
+		t.Errorf("p99 = %v, want inside (0.05, 0.1]", p.P99)
+	}
+}
+
+// TestHistoryQuantileInfOnlyWindow puts every observation past the last
+// finite bound: the windowed quantiles must clamp to that bound, same
+// as telemetry.Sample.Quantile does on the live histogram.
+func TestHistoryQuantileInfOnlyWindow(t *testing.T) {
+	reg := telemetry.New()
+	st := mustStore(t, Config{Registry: reg, Tiers: []Tier{{Every: 1, Len: 8}}})
+	st.Tick()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 0.2})
+	for i := 0; i < 3; i++ {
+		h.Observe(5) // +Inf bucket
+	}
+	st.Tick()
+	q := st.Query(Q{Name: "lat_seconds", Tier: 0})
+	if len(q) != 1 || len(q[0].Points) != 1 {
+		t.Fatalf("got %+v, want 1 series × 1 window", q)
+	}
+	p := q[0].Points[0]
+	for name, got := range map[string]float64{"p50": p.P50, "p99": p.P99} {
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("%s = %v, want a finite clamp", name, got)
+		}
+		if got != 0.2 {
+			t.Errorf("%s = %v, want the last finite bound 0.2", name, got)
+		}
+	}
+}
+
+// TestHistoryCounterResetMidWindow kills the registry between scrapes
+// (the restart case): a counter that comes back smaller must fold in as
+// a fresh epoch counted from zero, not as a huge negative delta.
+func TestHistoryCounterResetMidWindow(t *testing.T) {
+	reg := telemetry.New()
+	st := mustStore(t, Config{Registry: reg, Tiers: []Tier{{Every: 1, Len: 8}}})
+	st.Tick()
+	reg.Counter("req_total").Add(10)
+	st.Tick() // window 1: delta 10
+	reg.Reset()
+	reg.Counter("req_total").Add(3)
+	st.Tick() // window 2: reset — new epoch from zero
+	q := st.Query(Q{Name: "req_total", Tier: 0})
+	if len(q) != 1 || len(q[0].Points) != 2 {
+		t.Fatalf("got %+v, want 1 series × 2 windows", q)
+	}
+	if got := q[0].Points[0].Value; got != 10 {
+		t.Errorf("pre-reset window = %v, want 10", got)
+	}
+	if got := q[0].Points[1].Value; got != 3 {
+		t.Errorf("post-reset window = %v, want 3 (new epoch), not -7", got)
+	}
+}
+
+// TestHistoryHistogramResetMidWindow is the same restart case on the
+// histogram path: the reset window's deltas go negative, which must
+// surface as zeroed quantiles (the guard against nonsense mass), and
+// the very next window must interpolate correctly again.
+func TestHistoryHistogramResetMidWindow(t *testing.T) {
+	reg := telemetry.New()
+	st := mustStore(t, Config{Registry: reg, Tiers: []Tier{{Every: 1, Len: 8}}})
+	st.Tick()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 0.2})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.05)
+	}
+	st.Tick() // window 1: four observations
+	reg.Reset()
+	h = reg.Histogram("lat_seconds", []float64{0.1, 0.2})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	st.Tick() // window 2: counts went backwards
+	h.Observe(0.05)
+	h.Observe(0.05)
+	st.Tick() // window 3: clean deltas in the new epoch
+	q := st.Query(Q{Name: "lat_seconds", Tier: 0})
+	if len(q) != 1 || len(q[0].Points) != 3 {
+		t.Fatalf("got %+v, want 1 series × 3 windows", q)
+	}
+	reset, after := q[0].Points[1], q[0].Points[2]
+	for name, got := range map[string]float64{"reset p50": reset.P50, "reset p99": reset.P99} {
+		if math.IsInf(got, 0) || math.IsNaN(got) || got != 0 {
+			t.Errorf("%s = %v, want the zero guard", name, got)
+		}
+	}
+	if after.Count != 2 {
+		t.Errorf("post-reset window count = %v, want 2", after.Count)
+	}
+	if want := 0.05; math.Abs(after.P50-want) > 1e-12 {
+		t.Errorf("post-reset p50 = %v, want %v — interpolation must recover", after.P50, want)
+	}
+}

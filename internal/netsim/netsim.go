@@ -85,17 +85,30 @@ type Message struct {
 	// is nonzero, so message-count and byte-count experiment results
 	// are identical with tracing disabled.
 	Trace uint64
+	// Stamp is the in-band origin timestamp (see internal/freshness):
+	// the source's clock reading, in nanoseconds, at the moment the gate
+	// decided to ship this message. Like Trace it rides a flag bit on
+	// the kind byte and costs no wire bytes when zero, so unstamped
+	// encodings are byte-identical to pre-freshness builds.
+	Stamp int64
 }
 
-// tracedFlag marks a kind byte whose message carries a trace ID. Kinds
-// occupy the low bits (1..numKinds), leaving the top bit free.
-const tracedFlag = 0x80
+// tracedFlag marks a kind byte whose message carries a trace ID;
+// stampedFlag marks one carrying an origin timestamp. Kinds occupy the
+// low bits (1..numKinds), leaving the top two bits free.
+const (
+	tracedFlag  = 0x80
+	stampedFlag = 0x40
+)
 
 // EncodedSize returns the exact number of bytes Encode will produce.
 func (m *Message) EncodedSize() int {
-	// kind(1) [+ trace(8)] + idLen(2) + id + tick(8) + valLen(2) + 8·len(Value)
+	// kind(1) [+ trace(8)] [+ stamp(8)] + idLen(2) + id + tick(8) + valLen(2) + 8·len(Value)
 	n := 1 + 2 + len(m.StreamID) + 8 + 2 + 8*len(m.Value)
 	if m.Trace != 0 {
+		n += 8
+	}
+	if m.Stamp != 0 {
 		n += 8
 	}
 	return n
@@ -112,13 +125,22 @@ func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
 	if len(m.Value) > math.MaxUint16 {
 		return nil, fmt.Errorf("netsim: value too long (%d elements)", len(m.Value))
 	}
+	if m.Stamp < 0 {
+		return nil, fmt.Errorf("netsim: negative stamp %d", m.Stamp)
+	}
 	kind := byte(m.Kind)
 	if m.Trace != 0 {
 		kind |= tracedFlag
 	}
+	if m.Stamp != 0 {
+		kind |= stampedFlag
+	}
 	buf = append(buf, kind)
 	if m.Trace != 0 {
 		buf = binary.BigEndian.AppendUint64(buf, m.Trace)
+	}
+	if m.Stamp != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Stamp))
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.StreamID)))
 	buf = append(buf, m.StreamID...)
@@ -147,7 +169,8 @@ func DecodeNext(m *Message, buf []byte) ([]byte, error) {
 	}
 	kind := buf[0]
 	traced := kind&tracedFlag != 0
-	m.Kind = MessageKind(kind &^ tracedFlag)
+	stamped := kind&stampedFlag != 0
+	m.Kind = MessageKind(kind &^ (tracedFlag | stampedFlag))
 	switch m.Kind {
 	case KindCorrection, KindHeartbeat, KindDeltaUpdate, KindResync, KindResyncRequest:
 	default:
@@ -165,6 +188,20 @@ func DecodeNext(m *Message, buf []byte) ([]byte, error) {
 			// (two byte strings for one message); reject it so every
 			// accepted message has exactly one canonical form.
 			return nil, fmt.Errorf("netsim: traced message with zero trace id")
+		}
+		buf = buf[8:]
+	}
+	m.Stamp = 0
+	if stamped {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("netsim: stamped message truncated")
+		}
+		m.Stamp = int64(binary.BigEndian.Uint64(buf[:8]))
+		if m.Stamp <= 0 {
+			// Same canonical-form rule as the trace flag: a set flag with a
+			// zero stamp would give one message two encodings, and a
+			// negative stamp cannot be produced by any clock we stamp from.
+			return nil, fmt.Errorf("netsim: stamped message with non-positive stamp")
 		}
 		buf = buf[8:]
 	}
@@ -238,6 +275,7 @@ func (m *Message) Clone() *Message {
 	c.Tick = m.Tick
 	c.Value = append(c.Value[:0], m.Value...)
 	c.Trace = m.Trace
+	c.Stamp = m.Stamp
 	return c
 }
 
@@ -266,6 +304,7 @@ func PutMessage(m *Message) {
 	m.Tick = 0
 	m.Value = m.Value[:0]
 	m.Trace = 0
+	m.Stamp = 0
 	msgPool.Put(m)
 }
 

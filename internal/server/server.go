@@ -490,6 +490,19 @@ func (s *Server) PeekValue(id string) (estimate []float64, bound float64, err er
 	return st.replica.Predict(), st.delta, nil
 }
 
+// LastTrace returns the trace ID of the most recent traced correction
+// applied to the stream (0 when none, or for an unknown stream) — the
+// state a bounded answer is served from. The freshness layer attaches it
+// to staleness-at-query exemplars.
+func (s *Server) LastTrace(id string) uint64 {
+	sh, st, err := s.get(id)
+	if err != nil {
+		return 0
+	}
+	defer sh.mu.RUnlock()
+	return st.lastTrace
+}
+
 // ValueDistribution answers a probabilistic point query: the current
 // estimate together with the replica's own predictive standard deviation
 // per component. Unlike the δ bound — a hard worst-case guarantee — the

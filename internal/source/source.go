@@ -98,6 +98,13 @@ type Config struct {
 	// trace IDs shipped in-band on corrections; nil means trace.Default.
 	// While tracing is disabled the gate pays one atomic load per tick.
 	Trace *trace.Journal
+	// Stamp, when non-nil, reads the origin clock (nanoseconds, must be
+	// positive) stamped on every shipped message — the start of the
+	// end-to-end freshness span the server closes on apply. Use
+	// freshness.WallClock for real deployments, or a tick-derived virtual
+	// clock in the simulation. Nil leaves messages unstamped, keeping
+	// their encodings byte-identical to the pre-freshness protocol.
+	Stamp func() int64
 }
 
 // Stats counts the gate's decisions.
@@ -303,6 +310,9 @@ func (s *Source) Observe(tick int64, z []float64) (sent bool, err error) {
 			outcome = trace.OutcomeHeartbeat
 		}
 		s.traceGate(outcome, msg.Trace, tick, dev)
+	}
+	if s.cfg.Stamp != nil {
+		msg.Stamp = s.cfg.Stamp()
 	}
 	s.send(msg)
 	s.run = 0

@@ -60,8 +60,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch s.Kind {
 		case KindHistogram:
 			for _, bk := range s.Buckets {
-				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				fmt.Fprintf(&b, "%s_bucket%s %d",
 					s.Name, labelsWith(s.Labels, "le", formatValue(bk.UpperBound)), bk.Count)
+				if ex := bk.Exemplar; ex != nil {
+					// OpenMetrics exemplar suffix: the sampled resident
+					// observation with its trace and stream identity, so a
+					// bucket spike resolves to a trace-journal entry in one hop.
+					fmt.Fprintf(&b, " # {trace_id=\"%d\",stream=\"%s\"} %s %s",
+						ex.TraceID, escapeLabel(ex.StreamID), formatValue(ex.Value),
+						strconv.FormatFloat(float64(ex.UnixNano)/1e9, 'f', 3, 64))
+				}
+				b.WriteByte('\n')
 			}
 			fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, s.Labels, formatValue(s.Sum))
 			fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, s.Labels, s.Count)

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleFor pulls one named series out of a registry snapshot.
+func sampleFor(t *testing.T, r *Registry, name string) Sample {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q not in snapshot", name)
+	return Sample{}
+}
+
+// TestQuantileEmptyHistogram pins the degenerate cases: a zero-value
+// Sample and a registered-but-never-observed histogram must both answer
+// 0 for every quantile — never NaN, never a bucket bound.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var zero Sample
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Errorf("zero Sample p50 = %v, want 0", got)
+	}
+	r := New()
+	r.Histogram("empty", []float64{1, 2, 4})
+	s := sampleFor(t, r, "empty")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram q%v = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket puts all mass in one finite bucket: the
+// estimate must interpolate linearly through (0, bound], pinned at the
+// bound for q=1.
+func TestQuantileSingleBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("one", []float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	s := sampleFor(t, r, "one")
+	if got := s.Quantile(0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("p50 = %v, want 5 (halfway through (0,10])", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("p100 = %v, want the bucket bound 10", got)
+	}
+}
+
+// TestQuantileInfOnlyMass puts every observation past the last finite
+// bound: all quantiles must clamp to that bound (the estimator cannot
+// invent a value inside +Inf) rather than return infinity or NaN.
+func TestQuantileInfOnlyMass(t *testing.T) {
+	r := New()
+	h := r.Histogram("inf", []float64{10, 20})
+	for i := 0; i < 3; i++ {
+		h.Observe(99)
+	}
+	s := sampleFor(t, r, "inf")
+	for _, q := range []float64{0.5, 0.99} {
+		got := s.Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("q%v = %v, want a finite clamp", q, got)
+		}
+		if got != 20 {
+			t.Errorf("q%v = %v, want the last finite bound 20", q, got)
+		}
+	}
+}
+
+// TestQuantileRankOnEmptyInnerBucket lands a rank exactly on the
+// cumulative boundary of an empty bucket: the estimate must answer the
+// bucket bound, not divide by the empty bucket's zero width of mass.
+func TestQuantileRankOnEmptyInnerBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("gap", []float64{1, 2, 3})
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(2.5)
+	h.Observe(2.5)
+	s := sampleFor(t, r, "gap")
+	// rank 2 of 4 closes exactly at bucket (0,1]; (1,2] is empty.
+	if got := s.Quantile(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p50 = %v, want 1 (boundary of the empty bucket)", got)
+	}
+	if got := s.Quantile(0.75); math.IsNaN(got) {
+		t.Errorf("p75 = NaN across an empty inner bucket")
+	}
+}

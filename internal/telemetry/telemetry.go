@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind discriminates metric types.
@@ -99,10 +100,37 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // convention: bucket i counts observations ≤ bound i, with an implicit
 // +Inf bucket). Observe is a bucket search plus two atomic updates; the
 // sum is accumulated via CAS so concurrent observers never lose updates.
+//
+// A histogram can additionally retain exemplars — one sampled resident
+// observation per bucket, carrying the trace ID and stream ID that
+// produced it — so a quantile spike on a scrape resolves directly to a
+// trace-journal entry. Exemplar storage is off until EnableExemplars;
+// plain Observe never touches it, so histograms without exemplars pay
+// nothing.
 type Histogram struct {
 	bounds  []float64 // sorted upper bounds; implicit +Inf after the last
 	buckets []atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars is nil until EnableExemplars; afterwards one slot per
+	// bucket, each holding an immutable *Exemplar replaced wholesale so
+	// readers never see a torn record.
+	exemplars []atomic.Pointer[Exemplar]
+	exEnabled atomic.Bool
+}
+
+// Exemplar is one sampled observation retained for a histogram bucket:
+// enough identity (trace ID, stream ID) to pivot from a latency bucket
+// to the trace-journal entry and top-k offender behind it.
+type Exemplar struct {
+	// TraceID is the in-band lifecycle trace ID of the sampled
+	// observation (0 when the observation was untraced).
+	TraceID uint64
+	// StreamID names the stream the observation belongs to.
+	StreamID string
+	// Value is the observed value.
+	Value float64
+	// UnixNano is the wall-clock time the exemplar was stored.
+	UnixNano int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -112,20 +140,25 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Bucket counts are small (≤ ~16); a full branchless scan beats both
-	// binary search and an early-exit loop on the hot protocol paths —
-	// the comparison compiles to a flag-set with no data-dependent
-	// branch, so the loop never mispredicts. Same result as
-	// sort.SearchFloat64s: smallest i with bounds[i] ≥ v.
+// bucketFor returns the bucket index for v.
+// Bucket counts are small (≤ ~16); a full branchless scan beats both
+// binary search and an early-exit loop on the hot protocol paths —
+// the comparison compiles to a flag-set with no data-dependent
+// branch, so the loop never mispredicts. Same result as
+// sort.SearchFloat64s: smallest i with bounds[i] ≥ v.
+func (h *Histogram) bucketFor(v float64) int {
 	i := 0
 	for _, b := range h.bounds {
 		if b < v {
 			i++
 		}
 	}
-	h.buckets[i].Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[h.bucketFor(v)].Add(1)
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -133,6 +166,58 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// EnableExemplars allocates the per-bucket exemplar slots. Call once,
+// before concurrent use (typically right after the Histogram lookup);
+// calling it again is a no-op. Histograms that never enable exemplars
+// keep the plain two-atomic Observe cost.
+func (h *Histogram) EnableExemplars() {
+	if h.exEnabled.CompareAndSwap(false, true) {
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(h.buckets))
+	}
+}
+
+// exemplarSampleMask subsamples exemplar refreshes: once a bucket holds
+// an exemplar, only every 64th observation landing there replaces it,
+// bounding the stamped hot path's allocation rate while keeping the
+// resident exemplar recent under steady traffic.
+const exemplarSampleMask = 63
+
+// ObserveExemplar records one value and, subject to sampling, retains
+// (traceID, streamID, v) as the bucket's exemplar. Without a prior
+// EnableExemplars it is exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64, streamID string) {
+	i := h.bucketFor(v)
+	n := h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if !h.exEnabled.Load() {
+		return
+	}
+	slot := &h.exemplars[i]
+	if slot.Load() != nil && n&exemplarSampleMask != 0 {
+		return
+	}
+	slot.Store(&Exemplar{TraceID: traceID, StreamID: streamID, Value: v, UnixNano: nowNano()})
+}
+
+// nowNano is time.Now().UnixNano(), indirected for tests.
+var nowNano = func() int64 { return time.Now().UnixNano() }
+
+// BucketExemplar returns bucket i's resident exemplar, or nil when
+// exemplars are disabled or none has landed there yet. The returned
+// record is immutable.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if !h.exEnabled.Load() || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations. Every observation lands in
@@ -182,6 +267,10 @@ type Bucket struct {
 	// Count is the number of observations ≤ UpperBound (cumulative,
 	// Prometheus-style).
 	Count int64
+	// Exemplar is the bucket's sampled resident observation, nil when the
+	// histogram has exemplars disabled or none has landed here yet. The
+	// pointee is immutable and shared with the live histogram.
+	Exemplar *Exemplar
 }
 
 // LinearBuckets returns n bounds start, start+width, …
@@ -470,7 +559,10 @@ func (r *Registry) SnapshotAppend(dst []Sample) []Sample {
 				if i < len(h.bounds) {
 					ub = h.bounds[i]
 				}
-				buckets = append(buckets, Bucket{UpperBound: ub, Count: cum})
+				// The exemplar pointer is shared, not copied — immutable by
+				// construction, so attaching it costs no allocation and the
+				// recycled-slice scrape stays zero-alloc.
+				buckets = append(buckets, Bucket{UpperBound: ub, Count: cum, Exemplar: h.BucketExemplar(i)})
 			}
 			smp.Buckets = buckets
 			dst = append(dst, smp)

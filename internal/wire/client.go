@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"net"
 	"time"
 
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/netsim"
 	"kalmanstream/internal/predictor"
 	"kalmanstream/internal/source"
@@ -119,6 +121,13 @@ type Client struct {
 	telCoalesced  *telemetry.Counter
 	telFlushDelay *telemetry.Histogram
 	telRingOcc    *telemetry.Gauge
+
+	// Skew-probe state: pingClock reads the same monotonic-anchored wall
+	// clock the stamping path uses, and lastRTT is the round trip the
+	// previous Ping measured, reported to the server on the next one so
+	// its offset samples are transit-corrected.
+	pingClock freshness.Clock
+	lastRTT   time.Duration
 }
 
 // CoalesceConfig shapes the client's correction write ring. Corrections
@@ -611,6 +620,53 @@ func (c *Client) Query(id string, tick int64) (AnswerPayload, error) {
 	return ans, nil
 }
 
+// Ping runs one NTP-style clock-skew probe: the frame carries this
+// client's wall-clock send time and the round trip the previous Ping
+// measured (0 on the first, when no RTT is known), the server folds
+// recv − send − rtt/2 into the connection's skew estimator, and the pong
+// echo yields the RTT reported next time. Returns the measured round
+// trip. Pending coalesced corrections flush first so the probe's
+// position in the stream is well-defined.
+func (c *Client) Ping() (time.Duration, error) {
+	if err := c.FlushCorrections(); err != nil {
+		return 0, err
+	}
+	if c.pingClock == nil {
+		c.pingClock = freshness.WallClock()
+	}
+	var rtt time.Duration
+	err := c.withRetry(func() error {
+		var payload [16]byte
+		sendNs := c.pingClock()
+		binary.BigEndian.PutUint64(payload[:8], uint64(sendNs))
+		binary.BigEndian.PutUint64(payload[8:], uint64(c.lastRTT))
+		if err := WriteFrame(c.bw, FramePing, payload[:]); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		reply, err := c.expect(FramePong)
+		if err != nil {
+			return err
+		}
+		if len(reply) != 8 || int64(binary.BigEndian.Uint64(reply)) != sendNs {
+			return fmt.Errorf("wire: pong does not echo ping send time")
+		}
+		rtt = time.Duration(c.pingClock() - sendNs)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.lastRTT = rtt
+	return rtt, nil
+}
+
+// LastRTT returns the round trip the most recent successful Ping
+// measured (0 before the first).
+func (c *Client) LastRTT() time.Duration { return c.lastRTT }
+
 // SendTrace ships a batch of lifecycle trace events; fire-and-forget,
 // like corrections. An empty batch writes nothing. A retried batch can
 // be delivered twice in rare failure windows; trace ingestion tolerates
@@ -677,6 +733,12 @@ const TraceFlushEvery = 64
 // when the source never queries.
 const FeedbackPollEvery = 32
 
+// PingEvery is the observation interval at which a stamping
+// NetworkedSource sends a clock-skew probe. The server's estimator is
+// EWMA-smoothed, so occasional probes suffice; a non-stamping source
+// never pings (its latency spans are never computed, so skew is moot).
+const PingEvery = 256
+
 // NetworkedSource binds a local precision gate to a remote server: the
 // gate's corrections go out over the client connection. When cfg.Trace
 // names a private journal (one this process enables and does not share),
@@ -697,6 +759,9 @@ type NetworkedSource struct {
 	// trace.Default would steal events from other streams in-process.
 	journal *trace.Journal
 	ticks   int64
+	// stamped notes that cfg.Stamp was set, arming the periodic
+	// clock-skew probes that make the stamps interpretable server-side.
+	stamped bool
 	// sendErr holds the first transport error; surfaced on Observe.
 	sendErr error
 }
@@ -704,7 +769,7 @@ type NetworkedSource struct {
 // NewNetworkedSource registers the stream remotely and returns a gate
 // whose corrections flow over the connection.
 func NewNetworkedSource(client *Client, cfg source.Config) (*NetworkedSource, error) {
-	ns := &NetworkedSource{client: client, journal: cfg.Trace}
+	ns := &NetworkedSource{client: client, journal: cfg.Trace, stamped: cfg.Stamp != nil}
 	// Chain the hooks rather than replacing them: several sources can
 	// share one client connection.
 	prevResync := client.OnResyncRequest
@@ -750,6 +815,15 @@ func (ns *NetworkedSource) Observe(tick int64, z []float64) (sent bool, err erro
 		// Polling before the gate runs lets a freshly-arrived resync
 		// request take effect on this very observation.
 		if _, perr := ns.client.PollFeedback(); perr != nil && ns.sendErr == nil {
+			ns.sendErr = perr
+		}
+	}
+	if ns.stamped && ns.ticks%PingEvery == 0 {
+		// A stamping source keeps the server's skew estimate warm. The
+		// first probe fires on the very first observation, so spans
+		// recorded before the next one are at worst transit-uncorrected
+		// rather than skew-blind.
+		if _, perr := ns.client.Ping(); perr != nil && ns.sendErr == nil {
 			ns.sendErr = perr
 		}
 	}

@@ -132,8 +132,11 @@ func (s *Server) recover(log *wal.Log) (wal.RecoveryStats, error) {
 				// applyLocked reproduces the original apply exactly:
 				// advanceTo the message tick, apply, and the same telemetry
 				// bookkeeping — the recovered server's counters match one
-				// that never died.
-				return s.applyLocked(&scratch)
+				// that never died. The origin stamp is cleared first: a
+				// replay is not a live delivery, and closing its span now
+				// would record the crash outage as wire latency.
+				scratch.Stamp = 0
+				return s.applyLocked(&scratch, 0)
 			default:
 				return fmt.Errorf("wire: unexpected wal record type %d", typ)
 			}

@@ -65,6 +65,15 @@ const (
 	// client amortizes the 5-byte frame header, the syscall, and the
 	// server's lock over every correction in the batch.
 	FrameMessageBatch
+	// FramePing carries [client_send_ns(8)][last_rtt_ns(8)] (client →
+	// server): the NTP-style clock-skew probe. The server folds
+	// recv − send − rtt/2 into the connection's skew estimator and
+	// answers with a FramePong echoing client_send_ns, from which the
+	// client measures the round trip it reports on its NEXT ping (the
+	// first ping carries rtt 0 — a usable, merely uncorrected sample).
+	FramePing
+	// FramePong echoes the ping's client_send_ns (server → client).
+	FramePong
 )
 
 // FrameName returns a short human-readable name for a frame type, used
@@ -93,6 +102,10 @@ func FrameName(typ uint8) string {
 		return "resync-request"
 	case FrameMessageBatch:
 		return "message-batch"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
 	default:
 		return fmt.Sprintf("unknown(%d)", typ)
 	}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"kalmanstream/internal/diag"
+	"kalmanstream/internal/freshness"
 	"kalmanstream/internal/health"
 	"kalmanstream/internal/history"
 	"kalmanstream/internal/netsim"
@@ -61,6 +63,22 @@ type connWriter struct {
 	mu   sync.Mutex
 	conn net.Conn
 	s    *Server
+
+	// remote and skew identify the connection on the /debug/latency
+	// surface: skew accumulates the NTP-style offset samples from the
+	// peer's FramePing probes. Both are set once in handleConn, before
+	// the connection is published, and never mutated after.
+	remote string
+	skew   *freshness.SkewEstimator
+}
+
+// connOffsetNanos reads the connection's smoothed clock-skew estimate
+// (0 before any ping, or on a connWriter built without an estimator).
+func (cw *connWriter) connOffsetNanos() float64 {
+	if cw == nil || cw.skew == nil {
+		return 0
+	}
+	return cw.skew.OffsetNanos()
 }
 
 func (cw *connWriter) writeFrame(typ uint8, payload []byte) error {
@@ -132,7 +150,7 @@ type Server struct {
 	// frame type so the read loop observes without a registry lookup or
 	// label allocation. Only client→server kinds are populated; the rest
 	// stay nil and the loop skips them.
-	telFrame [FrameMessageBatch + 1]*telemetry.Histogram
+	telFrame [FramePong + 1]*telemetry.Histogram
 
 	telBatches     *telemetry.Counter
 	telBatchedMsgs *telemetry.Histogram
@@ -140,6 +158,14 @@ type Server struct {
 	monitor *health.Monitor
 	diag    *diag.Recorder
 	hist    *history.Store
+
+	// fresh records the time dimension: skew-corrected gate→apply spans
+	// for stamped corrections and staleness-at-query. clock is the
+	// server's arrival clock (monotonic-anchored wall time). conns is the
+	// live connection set, published for /debug/latency skew rows.
+	fresh *freshness.Recorder
+	clock freshness.Clock
+	conns map[*connWriter]struct{}
 
 	// wal is the durability log (nil when the server is not durable).
 	// NewDurableServer sets it only after recovery has replayed the
@@ -227,10 +253,13 @@ func NewServerWith(opts Options) *Server {
 		telStale:       reg.Gauge("streams_stale"),
 		telStaleTotal:  reg.Counter("watchdog_stale_total"),
 		telResyncReqs:  reg.Counter("watchdog_resync_requests_total"),
+		fresh:          freshness.NewRecorder(reg),
+		clock:          freshness.WallClock(),
+		conns:          make(map[*connWriter]struct{}),
 	}
 	s.telBatches = reg.Counter("wire_frames_coalesced_total")
 	s.telBatchedMsgs = reg.Histogram("wire_corrections_per_frame", telemetry.BatchSizeBuckets)
-	for _, typ := range []uint8{FrameRegister, FrameMessage, FrameQuery, FrameMetrics, FrameTrace, FrameMessageBatch} {
+	for _, typ := range []uint8{FrameRegister, FrameMessage, FrameQuery, FrameMetrics, FrameTrace, FrameMessageBatch, FramePing} {
 		s.telFrame[typ] = reg.Histogram("wire_frame_handle_seconds",
 			telemetry.LatencyBuckets, "kind", FrameName(typ))
 	}
@@ -271,6 +300,11 @@ func NewServerWith(opts Options) *Server {
 const (
 	DefaultAuditErrorBudget = 0.01
 	DefaultFrameP99Bound    = 1e-2
+	// DefaultFreshnessP99Bound is the gate→apply latency objective for
+	// stamped corrections: p99 under 25ms. A healthy loopback or LAN hop
+	// sits orders of magnitude below it; a chaos delay burst or a real
+	// network brownout blows through it and burns the freshness budget.
+	DefaultFreshnessP99Bound = 2.5e-2
 )
 
 // ConfigureHealth points a monitor at the server's own signals and
@@ -308,6 +342,13 @@ func (s *Server) ConfigureHealth(m *health.Monitor) error {
 	}
 	if err := m.LatencySLO("frame-p99", "wire_frame_handle_seconds", 0.99,
 		DefaultFrameP99Bound, health.Thresholds{}); err != nil {
+		return err
+	}
+	if err := m.TrackHistogram(freshness.SeriesE2ELatency, s.fresh.E2E()); err != nil {
+		return err
+	}
+	if err := m.LatencySLO("freshness-p99", freshness.SeriesE2ELatency, 0.99,
+		DefaultFreshnessP99Bound, health.Thresholds{}); err != nil {
 		return err
 	}
 	s.monitor = m
@@ -607,14 +648,20 @@ func (s *Server) noteTraffic(id string) {
 // reconnecting source may replay a tail the server already applied, and
 // applying a correction twice would double-step the replica.
 func (s *Server) Apply(m *netsim.Message) error {
+	return s.applyConn(m, 0)
+}
+
+// applyConn is Apply with the ingesting connection's clock-skew estimate
+// (nanoseconds, 0 for in-process callers where no skew exists).
+func (s *Server) applyConn(m *netsim.Message, offsetNs float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyLocked(m)
+	return s.applyLocked(m, offsetNs)
 }
 
 // applyLocked is Apply's body; the caller holds mu. Batch ingestion
 // loops over it so the lock is taken once per frame, not per correction.
-func (s *Server) applyLocked(m *netsim.Message) error {
+func (s *Server) applyLocked(m *netsim.Message, offsetNs float64) error {
 	if h := s.health[m.StreamID]; h != nil {
 		if m.Tick <= h.lastTick {
 			s.reg.Counter("wire_duplicates_dropped_total", "stream", m.StreamID).Inc()
@@ -638,6 +685,12 @@ func (s *Server) applyLocked(m *netsim.Message) error {
 			t.suppressed.Add(steps - 1)
 		}
 	}
+	if m.Stamp != 0 && m.Kind != netsim.KindHeartbeat {
+		// The source stamped its gate time: close the span. An unstamped
+		// message pays exactly one branch here, keeping the warm apply
+		// path allocation-free.
+		s.fresh.RecordE2E(freshness.E2ESeconds(m.Stamp, s.clock(), offsetNs), m.Trace, m.StreamID)
+	}
 	return nil
 }
 
@@ -648,6 +701,12 @@ func (s *Server) applyLocked(m *netsim.Message) error {
 // before the failure stays applied, which matches the semantics of the
 // same messages arriving as individual frames on a link that then died.
 func (s *Server) ApplyBatch(payload []byte, scratch *netsim.Message) (int, error) {
+	return s.applyBatchConn(payload, scratch, 0)
+}
+
+// applyBatchConn is ApplyBatch with the ingesting connection's skew
+// estimate threaded through to each record's latency span.
+func (s *Server) applyBatchConn(payload []byte, scratch *netsim.Message, offsetNs float64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
@@ -660,7 +719,7 @@ func (s *Server) ApplyBatch(payload []byte, scratch *netsim.Message) (int, error
 			return n, fmt.Errorf("wire: batch record %d: %w", n, err)
 		}
 		recLen -= len(rest)
-		if err := s.applyLocked(scratch); err != nil {
+		if err := s.applyLocked(scratch, offsetNs); err != nil {
 			return n, fmt.Errorf("wire: batch record %d: %w", n, err)
 		}
 		if s.diag != nil && scratch.Kind == netsim.KindCorrection {
@@ -688,6 +747,16 @@ func (s *Server) Query(q QueryPayload) (AnswerPayload, error) {
 	if err != nil {
 		return AnswerPayload{}, err
 	}
+	// Staleness-at-query: how old the prediction basis is in wall time.
+	// An exact answer (bound 0, the query landed on the last correction's
+	// tick) is fresh by definition; a bounded answer's basis is as old as
+	// the stream's last traffic. The exemplar carries the last applied
+	// correction's trace ID — the state this answer was served from.
+	var age float64
+	if h := s.health[q.ID]; h != nil && bound > 0 {
+		age = time.Since(h.lastMsg).Seconds()
+	}
+	s.fresh.RecordStaleness(age, s.srv.LastTrace(q.ID), q.ID)
 	return AnswerPayload{ID: q.ID, Tick: q.Tick, Estimate: est, Bound: bound}, nil
 }
 
@@ -724,7 +793,15 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	// All writes to this connection — handler responses and watchdog
 	// pushes alike — go through one connWriter so they never interleave.
-	cw := &connWriter{conn: conn, s: s}
+	cw := &connWriter{
+		conn:   conn,
+		s:      s,
+		remote: conn.RemoteAddr().String(),
+		skew:   freshness.NewSkewEstimator(0),
+	}
+	s.mu.Lock()
+	s.conns[cw] = struct{}{}
+	s.mu.Unlock()
 	defer s.releaseConn(cw)
 
 	bytesIn := s.reg.Counter("wire_bytes_total", "direction", "in")
@@ -763,11 +840,39 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) releaseConn(cw *connWriter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.conns, cw)
 	for _, h := range s.health {
 		if h.owner == cw {
 			h.owner = nil
 		}
 	}
+}
+
+// Freshness returns the server's latency recorder (the HTTP layer serves
+// it at /debug/latency).
+func (s *Server) Freshness() *freshness.Recorder { return s.fresh }
+
+// ConnSkews snapshots every live connection's clock-skew estimate for
+// the /debug/latency surface. Connections that have never pinged are
+// skipped — they contribute no estimate.
+func (s *Server) ConnSkews() []freshness.ConnSkew {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []freshness.ConnSkew
+	for cw := range s.conns {
+		n := cw.skew.Samples()
+		if n == 0 {
+			continue
+		}
+		out = append(out, freshness.ConnSkew{
+			Remote:        cw.remote,
+			OffsetSeconds: cw.skew.OffsetNanos() / 1e9,
+			RTTSeconds:    cw.skew.RTTNanos() / 1e9,
+			Samples:       n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })
+	return out
 }
 
 // dispatch routes one inbound frame, timing the handler into the
@@ -806,7 +911,7 @@ func (s *Server) route(cw *connWriter, typ uint8, payload []byte, msg *netsim.Me
 		// path costs exactly one frame — the property being measured.
 		// Apply copies what it keeps, so reusing msg across frames is
 		// safe.
-		if err := s.Apply(msg); err != nil {
+		if err := s.applyConn(msg, cw.connOffsetNanos()); err != nil {
 			return err
 		}
 		if s.diag != nil && msg.Kind == netsim.KindCorrection {
@@ -817,7 +922,7 @@ func (s *Server) route(cw *connWriter, typ uint8, payload []byte, msg *netsim.Me
 		// Coalesced corrections: sub-records decode into the connection's
 		// scratch message (no per-correction allocation) and the whole
 		// batch applies under one lock hold inside ApplyBatch.
-		n, err := s.ApplyBatch(payload, msg)
+		n, err := s.applyBatchConn(payload, msg, cw.connOffsetNanos())
 		if n > 0 {
 			s.telBatches.Inc()
 			s.telBatchedMsgs.Observe(float64(n))
@@ -852,6 +957,21 @@ func (s *Server) route(cw *connWriter, typ uint8, payload []byte, msg *netsim.Me
 			s.auditor.Ingest(evs[i])
 		}
 		return nil
+	case FramePing:
+		// NTP-style skew probe: [client_send_ns(8)][last_rtt_ns(8)]. The
+		// offset sample recv − send − rtt/2 folds into this connection's
+		// estimator; the pong echoes the send time so the client can
+		// measure the round trip it will report on its next ping.
+		if len(payload) != 16 {
+			return fmt.Errorf("wire: bad ping payload length %d", len(payload))
+		}
+		sendNs := int64(binary.BigEndian.Uint64(payload[:8]))
+		rttNs := int64(binary.BigEndian.Uint64(payload[8:16]))
+		if cw.skew != nil {
+			off := cw.skew.Observe(s.clock(), sendNs, rttNs)
+			s.fresh.SetSkew(off / 1e9)
+		}
+		return cw.writeFrame(FramePong, payload[:8])
 	case FrameMetrics:
 		text, err := s.MetricsText()
 		if err != nil {
